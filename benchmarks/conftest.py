@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure via
+``benchmark.pedantic(..., rounds=1)`` — a simulation result is
+deterministic, so repeated rounds would only burn time — and then asserts
+the *shape* of the paper's result (who wins, in which direction, by
+roughly what factor).  Absolute numbers live in EXPERIMENTS.md.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentParams
+
+#: Benchmark-sized parameters: long enough for warm caches and stable
+#: shapes, short enough that the full harness completes in minutes.
+BENCH_PARAMS = ExperimentParams(n_refs=60_000, warmup=20_000)
+
+#: Accuracy experiments (Figs 1-2) run cold, like the paper's Section 3.
+ACC_PARAMS = ExperimentParams(n_refs=60_000, warmup=0)
+
+
+@pytest.fixture
+def params() -> ExperimentParams:
+    return BENCH_PARAMS
+
+
+@pytest.fixture
+def acc_params() -> ExperimentParams:
+    return ACC_PARAMS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

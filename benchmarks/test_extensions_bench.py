@@ -1,0 +1,90 @@
+"""Benchmarks for the §5.6 extension experiments.
+
+Not paper figures — the paper sketches these applications without
+numbers — but each run checks the direction §5.6 predicts.
+"""
+
+from conftest import BENCH_PARAMS, run_once
+
+from repro.cache.geometry import CacheGeometry
+from repro.extensions import (
+    CoScheduleAdvisor,
+    RemapPolicy,
+    compare_assoc_replacement,
+    simulate_remap,
+)
+from repro.workloads.spec_analogs import build
+from repro.workloads.trace import Trace
+
+GEO_DM = CacheGeometry(size=16 * 1024, assoc=1, line_size=64)
+GEO_4W = CacheGeometry(size=16 * 1024, assoc=4, line_size=64)
+N = BENCH_PARAMS.n_refs
+
+
+def test_biased_replacement_4way(benchmark):
+    """§5.6: conflict-bit bias in a 4-way cache's replacement must never
+    lose much and should help on conflict-rich workloads."""
+
+    def run():
+        return {
+            name: compare_assoc_replacement(build(name, N), GEO_4W)
+            for name in ("tomcatv", "turb3d", "gcc", "compress")
+        }
+
+    results = run_once(benchmark, run)
+    for name, res in results.items():
+        assert res.biased_miss_rate < res.lru_miss_rate + 0.5, name
+    print()
+    for name, res in results.items():
+        print(f"{name:<9} LRU {res.lru_miss_rate:5.2f}%  "
+              f"biased {res.biased_miss_rate:5.2f}%")
+
+
+def test_conflict_filtered_page_remapping(benchmark):
+    """§5.6: counting only conflict misses finds real page aliases while
+    avoiding useless remaps of streaming pages."""
+
+    def run():
+        a, b = 0x100000, 0x100000 + GEO_DM.size
+        stream = 0x800000
+        addrs = []
+        for i in range(N // 3):
+            off = (i % 64) * 64
+            addrs += [a + off, b + off, stream + i * 64]
+        trace = Trace(addrs, name="alias+stream")
+        return {
+            policy.value: simulate_remap(trace, GEO_DM, policy)
+            for policy in RemapPolicy
+        }
+
+    out = run_once(benchmark, run)
+    assert out["conflict-only"].miss_rate < out["none"].miss_rate
+    assert out["conflict-only"].remaps < out["all-misses"].remaps
+    print()
+    for name, stats in out.items():
+        print(f"{name:<14} miss {stats.miss_rate:5.1f}%  remaps {stats.remaps}")
+
+
+def test_coscheduling_advisor(benchmark):
+    """§5.6: the recommended schedule's total conflict-miss rate must not
+    exceed the worst pairing's."""
+
+    names = ("go", "li", "gcc", "compress")
+
+    def run():
+        adv = CoScheduleAdvisor(GEO_DM)
+        adv.measure_all([build(n, N // 2) for n in names])
+        schedule = adv.recommend(names)
+        chosen = sum(adv.report_for(*p).conflict_miss_rate for p in schedule)
+        all_pairs = sorted(
+            adv.report_for(a, b).conflict_miss_rate
+            for a, b in (("go", "li"), ("go", "gcc"), ("go", "compress"),
+                         ("li", "gcc"), ("li", "compress"), ("gcc", "compress"))
+        )
+        worst = all_pairs[-1] + all_pairs[-2]
+        return schedule, chosen, worst
+
+    schedule, chosen, worst = run_once(benchmark, run)
+    assert chosen <= worst
+    print(f"\nschedule {schedule}: conflict rate {chosen:.2f} "
+          f"(worst pairing {worst:.2f})")

@@ -1,0 +1,31 @@
+"""Benchmark: Figure 2 — accuracy versus stored tag bits (16KB DM).
+
+Paper: ~8 bits retains nearly the full-tag accuracy; with very few bits
+conflict accuracy starts artificially high and capacity accuracy low.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig2_tag_bits
+
+
+def test_fig2_tag_bits(benchmark, acc_params):
+    result = run_once(benchmark, fig2_tag_bits.run, acc_params)
+    rows = result.row_dict()
+
+    # 8 bits is within 2 points of the full tag on both axes.
+    for col in ("conflict acc %", "capacity acc %"):
+        idx = result.headers.index(col)
+        assert abs(float(rows[8][idx]) - float(rows["full"][idx])) < 2.0
+
+    # One bit: conflict-biased (high conflict acc, low capacity acc).
+    assert rows[1][1] >= rows["full"][1]
+    assert rows[1][2] < rows["full"][2] - 10.0
+
+    # Capacity accuracy is monotone in stored bits.
+    caps = result.column("capacity acc %")
+    assert caps == sorted(caps)
+    print()
+    from repro.experiments.base import format_result
+
+    print(format_result(result))

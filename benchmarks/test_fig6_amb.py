@@ -1,0 +1,57 @@
+"""Benchmark: Figure 6 — the Adaptive Miss Buffer.
+
+Paper: the combined policies beat any single policy with the same buffer
+("VictPref … more than doubled the overall gain of any single policy";
+"as much as a 16% speedup over any single technique"); with 16 entries
+the do-everything policy becomes (at least as) attractive.
+"""
+
+from conftest import run_once
+
+from repro.buffers.amb import COMBINED_POLICY_NAMES, SINGLE_POLICY_NAMES
+from repro.experiments import fig6_amb
+
+
+def _avg(result):
+    row = result.row_dict()["AVERAGE"]
+    return {n: float(row[result.headers.index(n)]) for n in result.headers[1:]}
+
+
+def test_fig6_8_entries(benchmark, params):
+    result = run_once(benchmark, fig6_amb.run, params, 8)
+    avg = _avg(result)
+    best_single = max(avg[n] for n in SINGLE_POLICY_NAMES)
+    best_combined = max(avg[n] for n in COMBINED_POLICY_NAMES)
+    # Combining optimizations in one buffer beats any single use of it.
+    assert best_combined > best_single
+    # Every policy is at worst roughly performance-neutral on average.
+    assert all(v > 0.97 for v in avg.values()), avg
+    # Per-benchmark "as much as" margin: somewhere in the suite a combined
+    # policy beats the best single policy by several percent.
+    margins = []
+    for row in result.rows:
+        if row[0] in ("AVERAGE",):
+            continue
+        vals = {n: float(row[result.headers.index(n)]) for n in avg}
+        margins.append(
+            max(vals[n] for n in COMBINED_POLICY_NAMES)
+            - max(vals[n] for n in SINGLE_POLICY_NAMES)
+        )
+    assert max(margins) > 0.02
+    print()
+    from repro.experiments.base import format_result
+
+    print(format_result(result))
+
+
+def test_fig6_16_entries(benchmark, params):
+    result = run_once(benchmark, fig6_amb.run, params, 16)
+    avg = _avg(result)
+    # With more room, the do-everything policy is competitive with the
+    # best combination (paper: "becomes more attractive").
+    best_combined = max(avg[n] for n in COMBINED_POLICY_NAMES)
+    assert avg["VicPreExc"] > best_combined - 0.02
+    print()
+    from repro.experiments.base import format_result
+
+    print(format_result(result))

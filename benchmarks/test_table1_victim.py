@@ -1,0 +1,35 @@
+"""Benchmark: Table 1 — victim-cache hit rates and swap/fill traffic.
+
+Paper rows (suite averages): the no-fill policy cuts fills by more than
+half (6.6 -> 2.6), the no-swap policy nearly eliminates swaps
+(1.7 -> 0.1), and the combined hit rate stays roughly constant while D$
+and V$ hit rates trade places.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1_victim
+
+
+def test_table1_victim(benchmark, params):
+    result = run_once(benchmark, table1_victim.run, params)
+    rows = result.row_dict()
+
+    swaps = result.headers.index("swaps")
+    fills = result.headers.index("fills")
+    total = result.headers.index("Total")
+
+    # Filtering fills cuts fill traffic by more than half.
+    assert rows["filter fills"][fills] < rows["V cache"][fills] / 2
+    # Filtering swaps (or-conflict) nearly eliminates swaps.
+    assert rows["filter swaps"][swaps] < rows["V cache"][swaps] / 10
+    # Total hit rate stays within a couple points across victim policies.
+    victim_rows = ["V cache", "filter swaps", "filter fills", "filter both"]
+    totals = [float(rows[r][total]) for r in victim_rows]
+    assert max(totals) - min(totals) < 4.0
+    # Any victim cache beats no victim cache on combined hit rate.
+    assert min(totals) > float(rows["no V cache"][total])
+    print()
+    from repro.experiments.base import format_result
+
+    print(format_result(result))

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""OS-level uses of miss classification (paper §5.6).
+
+Two demos of the extensions package:
+
+1. **Dynamic page remapping** (Bershad et al.'s cache-miss-lookaside
+   scheme): two hot pages alias the same cache region; counting only
+   MCT-conflict misses finds and fixes the alias without wasting remaps
+   on streaming (capacity) pages.
+2. **Conflict-aware co-scheduling**: measure every pairing of four jobs
+   on a shared L1 and pick the schedule with the fewest cross-thread
+   conflict misses.
+
+Run:  python examples/conflict_aware_os.py
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.extensions import CoScheduleAdvisor, RemapPolicy, simulate_remap
+from repro.workloads import Trace, build
+
+GEO = CacheGeometry(size=16 * 1024, assoc=1, line_size=64)
+
+# ----------------------------------------------------------------------
+# 1. Page remapping
+# ----------------------------------------------------------------------
+print("== dynamic page remapping ==")
+a, b = 0x100000, 0x100000 + GEO.size      # two pages, same cache colour
+stream = 0x800000
+addrs = []
+for i in range(4000):
+    off = (i % 64) * 64
+    addrs += [a + off, b + off]           # aliasing hot pages (conflicts)
+    addrs.append(stream + i * 64)         # streaming page (capacity)
+workload = Trace(addrs, name="aliasing+streaming")
+
+print(f"{'policy':<15} {'miss rate':>10} {'remaps':>7}")
+for policy in (RemapPolicy.NONE, RemapPolicy.ALL_MISSES,
+               RemapPolicy.CONFLICT_ONLY):
+    stats = simulate_remap(workload, GEO, policy)
+    print(f"{policy.value:<15} {stats.miss_rate:9.1f}% {stats.remaps:>7}")
+print("Conflict-only counting fixes the alias with a handful of remaps;")
+print("counting all misses wastes remaps on the streaming page.\n")
+
+# ----------------------------------------------------------------------
+# 2. Co-scheduling
+# ----------------------------------------------------------------------
+print("== conflict-aware co-scheduling ==")
+names = ("go", "li", "gcc", "compress")
+advisor = CoScheduleAdvisor(GEO)
+reports = advisor.measure_all([build(n, 20_000) for n in names])
+
+print(f"{'pairing':<16} {'miss%':>6} {'conflict%':>10}")
+for r in sorted(reports, key=lambda r: r.conflict_miss_rate):
+    print(f"{'+'.join(r.jobs):<16} {r.miss_rate:6.1f} "
+          f"{r.conflict_miss_rate:9.2f}")
+
+schedule = advisor.recommend(names)
+print("\nrecommended schedule:",
+      ",  ".join("+".join(pair) for pair in schedule))
+print("Jobs that fight over the same sets are kept apart using only the")
+print("MCT's conflict counters — no software knowledge of the programs.")

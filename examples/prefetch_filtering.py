@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Prefetch filtering with the MCT (paper §5.2).
+
+Runs a next-line prefetcher over the evaluation suite with each of the
+four conflict filters and shows the paper's Figure-4 result: filtering
+conflict misses out of the prefetch stream buys a large accuracy gain
+(fewer wasted prefetches) at nearly unchanged coverage.
+
+Run:  python examples/prefetch_filtering.py
+"""
+
+from repro.buffers.prefetch import figure4_policies
+from repro.system import SLOW_BUS_MACHINE, simulate
+from repro.workloads import build_suite
+
+N_REFS, WARMUP = 60_000, 20_000
+SUITE = ["tomcatv", "swim", "turb3d", "gcc", "compress"]
+
+traces = build_suite(SUITE, n_refs=N_REFS)
+policies = figure4_policies()
+
+print(f"{'policy':<22} {'issued':>8} {'used':>8} {'wasted':>8} "
+      f"{'accuracy':>9} {'coverage':>9}")
+for policy in policies:
+    issued = used = wasted = hits = misses = 0
+    for trace in traces.values():
+        stats = simulate(trace, policy, SLOW_BUS_MACHINE, warmup=WARMUP)
+        b = stats.buffer
+        issued += b.prefetches_issued
+        used += b.prefetches_used
+        wasted += b.prefetches_wasted
+        hits += b.prefetch_hits
+        misses += stats.l1.misses
+    accuracy = 100.0 * used / issued if issued else 0.0
+    coverage = 100.0 * hits / misses if misses else 0.0
+    print(f"{policy.name:<22} {issued:>8} {used:>8} {wasted:>8} "
+          f"{accuracy:>8.1f}% {coverage:>8.1f}%")
+
+print("\nThe or-conflict filter is the most discriminating: it skips a")
+print("prefetch on any hint of a conflict event, trading a little")
+print("coverage for the biggest cut in wasted prefetch traffic.")

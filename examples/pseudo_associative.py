@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""MCT-biased pseudo-associative cache (paper §5.4).
+
+Compares, on one workload, four equal-capacity L1 organisations:
+direct-mapped, the classic column-associative cache, the paper's
+conflict-bit-biased variant, and a true 2-way cache.  The MCT variant
+recovers most of the gap between the classic demotion rule and true
+2-way associativity while keeping a direct-mapped primary hit time.
+
+Run:  python examples/pseudo_associative.py [benchmark]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.pseudo_assoc import PacVariant
+from repro.system import BASELINE, PAPER_MACHINE, simulate, speedup
+from repro.system.pac_system import simulate_pac
+from repro.workloads import build
+
+BENCH = sys.argv[1] if len(sys.argv) > 1 else "go"
+N_REFS, WARMUP = 120_000, 40_000
+
+trace = build(BENCH, N_REFS)
+machine = PAPER_MACHINE
+two_way = replace(
+    machine, l1=CacheGeometry(size=machine.l1.size, assoc=2,
+                              line_size=machine.l1.line_size)
+)
+
+dm = simulate(trace, BASELINE, machine, warmup=WARMUP)
+pac_classic = simulate_pac(trace, PacVariant.CLASSIC, machine, warmup=WARMUP)
+pac_mct = simulate_pac(trace, PacVariant.MCT, machine, warmup=WARMUP)
+w2 = simulate(trace, BASELINE, two_way, warmup=WARMUP)
+
+print(f"benchmark: {BENCH}")
+print(f"{'organisation':<22} {'miss rate':>10} {'speedup vs DM':>14}")
+rows = [
+    ("direct-mapped", dm, 1.0),
+    ("pseudo-assoc (classic)", pac_classic, speedup(pac_classic, dm)),
+    ("pseudo-assoc (MCT)", pac_mct, speedup(pac_mct, dm)),
+    ("true 2-way", w2, speedup(w2, dm)),
+]
+for name, stats, sp in rows:
+    print(f"{name:<22} {stats.l1.miss_rate:9.2f}% {sp:14.3f}")
+
+print("\nThe conflict-bit reprieve keeps recently-conflicting lines alive")
+print("through the demotion dance, approaching 2-way miss rates (paper:")
+print("within 0.9% of a true 2-way cache; miss rate 10.22% -> 9.83%).")

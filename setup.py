@@ -1,0 +1,9 @@
+"""Thin shim so `pip install -e .` works without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only gives pip a legacy
+editable-install path in offline environments that lack bdist_wheel.
+"""
+
+from setuptools import setup
+
+setup()

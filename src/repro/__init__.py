@@ -1,0 +1,76 @@
+"""repro — a reproduction of Collins & Tullsen, MICRO 1999.
+
+*Hardware Identification of Cache Conflict Misses*: the Miss
+Classification Table (MCT), the conflict-bit filters, and their
+applications — victim caching, next-line prefetch filtering, cache
+exclusion, pseudo-associative caches, and the Adaptive Miss Buffer — on a
+trace-driven memory-hierarchy simulator with synthetic SPEC95-analog
+workloads.
+
+Quickstart
+----------
+>>> from repro import CacheGeometry, measure_accuracy, build
+>>> trace = build("tomcatv", n_refs=50_000)
+>>> result = measure_accuracy(
+...     trace.addresses, CacheGeometry(size=16 * 1024, assoc=1)
+... )
+>>> result.conflict_accuracy > 50
+True
+"""
+
+from repro.cache import (
+    BufferRole,
+    CacheGeometry,
+    CacheLine,
+    EvictedLine,
+    FullyAssociativeLRU,
+    SetAssociativeCache,
+)
+from repro.core import (
+    ConflictFilter,
+    GroundTruthClassifier,
+    MissClass,
+    MissClassificationTable,
+    measure_accuracy,
+    sweep_tag_bits,
+)
+from repro.system import (
+    BASELINE,
+    AssistConfig,
+    MachineConfig,
+    MemorySystem,
+    PAPER_MACHINE,
+    simulate,
+    simulate_policies,
+    speedup,
+)
+from repro.workloads import Trace, build, build_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssistConfig",
+    "BASELINE",
+    "BufferRole",
+    "CacheGeometry",
+    "CacheLine",
+    "ConflictFilter",
+    "MachineConfig",
+    "MemorySystem",
+    "PAPER_MACHINE",
+    "EvictedLine",
+    "FullyAssociativeLRU",
+    "GroundTruthClassifier",
+    "MissClass",
+    "MissClassificationTable",
+    "SetAssociativeCache",
+    "Trace",
+    "__version__",
+    "build",
+    "build_suite",
+    "measure_accuracy",
+    "simulate",
+    "simulate_policies",
+    "speedup",
+    "sweep_tag_bits",
+]

@@ -1,0 +1,26 @@
+"""Cache-assist structures and named policies for each paper figure."""
+
+from repro.buffers.assist import AssistBuffer, BufferEntry
+from repro.buffers.history import MissHistoryTable
+from repro.buffers.mat import MemoryAccessTable
+from repro.buffers.stride import (
+    PrefetcherComparison,
+    ReferencePredictionTable,
+    compare_prefetchers,
+)
+
+from repro.buffers import amb, exclusion, prefetch, victim
+
+__all__ = [
+    "AssistBuffer",
+    "BufferEntry",
+    "MemoryAccessTable",
+    "MissHistoryTable",
+    "PrefetcherComparison",
+    "ReferencePredictionTable",
+    "amb",
+    "compare_prefetchers",
+    "exclusion",
+    "prefetch",
+    "victim",
+]

@@ -1,0 +1,134 @@
+"""The Adaptive Miss Buffer (paper §5.5, Figures 6-7).
+
+"The real power in miss classification is the opportunity to apply the
+best optimization to each type of miss individually."  The AMB is a single
+small buffer whose entries remember how they arrived (victim / prefetch /
+exclusion), letting one structure serve several policies at once:
+
+* ``Vict``      — victim caching alone, best single variant (filtered, no
+  swaps on conflict events — i.e. §5.1's winning policy).
+* ``Pref``      — filtered next-line prefetching alone (§5.2's winner).
+* ``Excl``      — capacity-miss exclusion alone (§5.3's winner).
+* ``VictPref``  — victim-cache (without swaps) the conflict misses,
+  prefetch on the capacity misses.  Best at 8 entries; "more than doubled
+  the overall gain of any single policy".
+* ``PrefExcl``  — prefetch and exclude capacity misses; conflict misses
+  get nothing.
+* ``VictExcl``  — victim-cache conflict misses, exclude capacity misses.
+* ``VicPreExc`` — everything: exclude *and* prefetch the capacity
+  (bypass) misses, victim-cache the conflict misses.  Attractive with a
+  16-entry buffer.
+
+"All multiple-policy results shown use the out-conflict filter" — i.e.
+decisions depend only on the new miss's MCT classification, no per-line
+conflict bits required.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.filters import ConflictFilter
+from repro.system.policies import AssistConfig, ExclusionMode
+
+#: §5.5: multiple-policy results use the out-conflict filter.
+AMB_FILTER = ConflictFilter.OUT_CONFLICT
+
+
+def vict(entries: int = 8) -> AssistConfig:
+    """Best single victim policy (filtered fills, no swaps on conflicts)."""
+    return AssistConfig(
+        name="Vict",
+        buffer_entries=entries,
+        victim_fills=True,
+        victim_fill_filter=AMB_FILTER,
+        victim_swap=True,
+        victim_no_swap_filter=AMB_FILTER,
+    )
+
+
+def pref(entries: int = 8) -> AssistConfig:
+    """Best single prefetch policy (capacity misses only)."""
+    return AssistConfig(
+        name="Pref",
+        buffer_entries=entries,
+        prefetch=True,
+        prefetch_filter=AMB_FILTER,
+    )
+
+
+def excl(entries: int = 8) -> AssistConfig:
+    """Best single exclusion policy (bypass capacity misses)."""
+    return AssistConfig(
+        name="Excl",
+        buffer_entries=entries,
+        exclusion=ExclusionMode.CAPACITY,
+    )
+
+
+def vict_pref(entries: int = 8) -> AssistConfig:
+    """Victim-cache (no swap) conflict misses; prefetch capacity misses."""
+    return AssistConfig(
+        name="VictPref",
+        buffer_entries=entries,
+        victim_fills=True,
+        victim_fill_filter=AMB_FILTER,
+        victim_swap=False,
+        prefetch=True,
+        prefetch_filter=AMB_FILTER,
+    )
+
+
+def pref_excl(entries: int = 8) -> AssistConfig:
+    """Prefetch and exclude capacity misses; nothing for conflicts."""
+    return AssistConfig(
+        name="PrefExcl",
+        buffer_entries=entries,
+        prefetch=True,
+        prefetch_filter=AMB_FILTER,
+        exclusion=ExclusionMode.CAPACITY,
+    )
+
+
+def vict_excl(entries: int = 8) -> AssistConfig:
+    """Victim-cache conflict misses; exclude capacity misses."""
+    return AssistConfig(
+        name="VictExcl",
+        buffer_entries=entries,
+        victim_fills=True,
+        victim_fill_filter=AMB_FILTER,
+        victim_swap=False,
+        exclusion=ExclusionMode.CAPACITY,
+    )
+
+
+def vic_pre_exc(entries: int = 8) -> AssistConfig:
+    """The everything policy: exclude and prefetch bypass (capacity)
+    misses, victim-cache conflict misses."""
+    return AssistConfig(
+        name="VicPreExc",
+        buffer_entries=entries,
+        victim_fills=True,
+        victim_fill_filter=AMB_FILTER,
+        victim_swap=False,
+        prefetch=True,
+        prefetch_filter=AMB_FILTER,
+        exclusion=ExclusionMode.CAPACITY,
+    )
+
+
+def figure6_policies(entries: int = 8) -> List[AssistConfig]:
+    """The seven bars of Figure 6 for one buffer size."""
+    return [
+        vict(entries),
+        pref(entries),
+        excl(entries),
+        vict_pref(entries),
+        pref_excl(entries),
+        vict_excl(entries),
+        vic_pre_exc(entries),
+    ]
+
+
+SINGLE_POLICY_NAMES = ("Vict", "Pref", "Excl")
+COMBINED_POLICY_NAMES = ("VictPref", "PrefExcl", "VictExcl", "VicPreExc")

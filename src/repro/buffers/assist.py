@@ -1,0 +1,125 @@
+"""The cache-assist buffer.
+
+Section 4 of the paper: "We will model a variety of flavors of a cache
+assist buffer, which will serve at different times as a victim buffer,
+prefetch buffer, cache bypass buffer, or the adaptive miss buffer.  In
+each case the structure is very similar" — eight fully-associative entries
+(sixteen for the exclusion study), two read and two write ports, one extra
+cycle of latency after an L1 miss.
+
+This class is that structure.  Entries carry a :class:`BufferRole` (how
+the line entered — the AMB needs "extra bits to remember how a cache line
+entered the buffer"), the conflict bit, a dirty bit, and for prefetches a
+``ready_time`` and a ``used`` flag so wasted prefetches can be counted
+when they fall out of the buffer untouched.
+
+Ordering is LRU over an ``OrderedDict`` — the paper notes the victim
+buffer "can be organized as a FIFO from which entries can be taken out of
+the middle", which "provides LRU eviction because lines are consumed out
+of the victim cache as soon as they are accessed"; with no-swap policies,
+hits instead refresh recency (the LRU organization the paper adopts for
+an 8-entry buffer).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cache.line import BufferRole
+from repro.cache.stats import BufferStats
+
+
+@dataclass
+class BufferEntry:
+    """One assist-buffer line (identified by its block number)."""
+
+    block: int
+    role: BufferRole
+    conflict_bit: bool = False
+    dirty: bool = False
+    ready_time: float = 0.0
+    used: bool = False
+
+
+class AssistBuffer:
+    """Small fully-associative LRU buffer with role-tagged entries.
+
+    Parameters
+    ----------
+    entries:
+        Capacity in lines (8 in most experiments, 16 for exclusion/AMB-16).
+    on_evict:
+        Optional hook receiving each :class:`BufferEntry` evicted to make
+        room (NOT entries consumed by swaps/moves into the cache); the
+        memory system uses it to count wasted prefetches.
+    """
+
+    def __init__(
+        self,
+        entries: int = 8,
+        on_evict: Optional[Callable[[BufferEntry], None]] = None,
+    ) -> None:
+        if entries < 1:
+            raise ValueError(f"buffer needs at least one entry, got {entries}")
+        self.capacity = entries
+        self.on_evict = on_evict
+        self.stats = BufferStats()
+        self._entries: "OrderedDict[int, BufferEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def probe(self, block: int) -> Optional[BufferEntry]:
+        """Look up a block; counts a probe, does NOT refresh recency."""
+        self.stats.probes += 1
+        return self._entries.get(block)
+
+    def peek(self, block: int) -> Optional[BufferEntry]:
+        """Look up without counting a probe (for internal checks)."""
+        return self._entries.get(block)
+
+    def touch(self, block: int) -> None:
+        """Refresh a resident block's recency (hit without consumption)."""
+        if block in self._entries:
+            self._entries.move_to_end(block)
+
+    def remove(self, block: int) -> Optional[BufferEntry]:
+        """Take a block out of the middle (swap/move-to-cache consumption)."""
+        return self._entries.pop(block, None)
+
+    def insert(self, entry: BufferEntry) -> Optional[BufferEntry]:
+        """Add an entry at MRU, evicting LRU if full; returns the evictee.
+
+        Inserting a block that is already resident replaces the old entry
+        in place (refreshing recency) — this happens when, e.g., a line is
+        victim-filled while an unconsumed prefetch of it is still around.
+        """
+        old = self._entries.pop(entry.block, None)
+        evicted: Optional[BufferEntry] = None
+        if old is None and len(self._entries) >= self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
+        self._entries[entry.block] = entry
+        return evicted
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def blocks(self) -> list[int]:
+        """Resident blocks, LRU first."""
+        return list(self._entries)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AssistBuffer {len(self._entries)}/{self.capacity}>"

@@ -1,0 +1,99 @@
+"""Miss-classification history tables (the §5.3 "history" variants).
+
+The paper's *capacity-history* exclusion policy "exclude[s] misses from a
+region with a history of capacity misses (using a structure somewhat
+similar to the MAT)", and *conflict-history* is the symmetric policy.
+This module provides that structure: a direct-mapped, tagged table of
+saturating counters per 1KB region, updated only on cache misses (unlike
+the MAT, which is touched on every access — that difference is the MCT
+approach's main hardware advantage).
+
+A counter moves toward its ceiling when the region misses with the
+*tracked* class and toward zero otherwise; a region is flagged once the
+counter reaches ``threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.classification import MissClass
+
+
+@dataclass
+class _HistoryEntry:
+    tag: int = -1
+    count: int = 0
+
+
+class MissHistoryTable:
+    """Per-region saturating history of one miss class.
+
+    Parameters
+    ----------
+    tracked:
+        The miss class whose history is accumulated (CONFLICT or
+        CAPACITY; COMPULSORY is folded into CAPACITY as everywhere else).
+    entries, region_size:
+        Table shape, matching the MAT defaults (1K entries, 1KB regions).
+    max_count, threshold:
+        2-bit saturating counters by default; a region is "flagged" at
+        ``threshold`` (so one stray miss does not flip the decision).
+    """
+
+    def __init__(
+        self,
+        tracked: MissClass,
+        entries: int = 1024,
+        region_size: int = 1024,
+        max_count: int = 3,
+        threshold: int = 2,
+    ) -> None:
+        if tracked is MissClass.COMPULSORY:
+            raise ValueError("track CONFLICT or CAPACITY, not COMPULSORY")
+        if not 1 <= threshold <= max_count:
+            raise ValueError("need 1 <= threshold <= max_count")
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        if region_size < 1 or region_size & (region_size - 1):
+            raise ValueError(
+                f"region_size must be a power of two, got {region_size}"
+            )
+        self.tracked = tracked
+        self.entries = entries
+        self.region_size = region_size
+        self.max_count = max_count
+        self.threshold = threshold
+        self._shift = region_size.bit_length() - 1
+        self._table: List[_HistoryEntry] = [_HistoryEntry() for _ in range(entries)]
+
+    def _slot(self, addr: int) -> tuple[_HistoryEntry, int]:
+        region = addr >> self._shift
+        return self._table[region & (self.entries - 1)], region
+
+    def record_miss(self, addr: int, miss_class: MissClass) -> None:
+        """Update the region's counter with one classified miss."""
+        entry, region = self._slot(addr)
+        if entry.tag != region:
+            entry.tag = region
+            entry.count = 0
+        tracked = (
+            miss_class is self.tracked
+            or (self.tracked is MissClass.CAPACITY and miss_class is MissClass.COMPULSORY)
+        )
+        if tracked:
+            if entry.count < self.max_count:
+                entry.count += 1
+        elif entry.count > 0:
+            entry.count -= 1
+
+    def is_flagged(self, addr: int) -> bool:
+        """True when the region has a history of the tracked class."""
+        entry, region = self._slot(addr)
+        return entry.tag == region and entry.count >= self.threshold
+
+    def reset(self) -> None:
+        for entry in self._table:
+            entry.tag = -1
+            entry.count = 0

@@ -1,0 +1,99 @@
+"""Johnson & Hwu's Memory Access Table (MAT) — the exclusion baseline.
+
+Johnson and Hwu (ISCA 1997) "record the frequency of access to 1KB regions
+of memory, and prevent a cache line from a low-access region from
+replacing one from a high-access region" (paper Section 2).  Section 5.3
+models a 1K-entry direct-mapped MAT and compares it against MCT-based
+exclusion.
+
+Mechanics implemented here (following the original MAT/macroblock design):
+
+* memory is divided into fixed-size *macroblocks* (1KB regions);
+* a direct-mapped, tagged table keeps a saturating access counter per
+  region; every memory access increments its region's counter (the
+  expensive part the paper criticises — the structure is read and written
+  on *every* access, 4-wide);
+* on a table-entry replacement the new region inherits half of the old
+  counter value, preserving some history;
+* on a cache miss, the incoming line's region counter is compared with the
+  would-be victim's region counter: the incoming line **bypasses** the
+  cache when its count is strictly lower (it belongs to a less active
+  region than the data it would displace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class _MATEntry:
+    tag: int = -1
+    count: int = 0
+
+
+class MemoryAccessTable:
+    """Direct-mapped per-region access-frequency table."""
+
+    def __init__(
+        self,
+        entries: int = 1024,
+        region_size: int = 1024,
+        max_count: int = 1023,
+    ) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        if region_size < 1 or region_size & (region_size - 1):
+            raise ValueError(
+                f"region_size must be a power of two, got {region_size}"
+            )
+        self.entries = entries
+        self.region_size = region_size
+        self.max_count = max_count
+        self._shift = region_size.bit_length() - 1
+        self._table: List[_MATEntry] = [_MATEntry() for _ in range(entries)]
+        self.accesses = 0
+        self.replacements = 0
+
+    # ------------------------------------------------------------------
+    def _slot(self, addr: int) -> tuple[_MATEntry, int]:
+        region = addr >> self._shift
+        return self._table[region & (self.entries - 1)], region
+
+    def record_access(self, addr: int) -> None:
+        """Count one access to ``addr``'s region (called on EVERY access)."""
+        self.accesses += 1
+        entry, region = self._slot(addr)
+        if entry.tag != region:
+            if entry.tag != -1:
+                # Replacement: the new region inherits half the old count
+                # so a single cold access does not immediately look "hot".
+                self.replacements += 1
+            entry.tag = region
+            entry.count //= 2
+        if entry.count < self.max_count:
+            entry.count += 1
+
+    def count_for(self, addr: int) -> int:
+        """The current counter for ``addr``'s region (0 when untracked)."""
+        entry, region = self._slot(addr)
+        return entry.count if entry.tag == region else 0
+
+    def should_bypass(self, incoming_addr: int, victim_addr: int | None) -> bool:
+        """Johnson & Hwu's decision: bypass when the incoming line's region
+        is strictly colder than the victim line's region.
+
+        ``victim_addr`` is None when the fill would land in an empty way —
+        never bypass then (there is nothing worth protecting).
+        """
+        if victim_addr is None:
+            return False
+        return self.count_for(incoming_addr) < self.count_for(victim_addr)
+
+    def reset(self) -> None:
+        for entry in self._table:
+            entry.tag = -1
+            entry.count = 0
+        self.accesses = 0
+        self.replacements = 0

@@ -1,0 +1,28 @@
+"""The paper's contribution: miss classification via the MCT."""
+
+from repro.core.accuracy import AccuracyResult, measure_accuracy, sweep_tag_bits
+from repro.core.classification import ClassifiedMiss, MissClass
+from repro.core.filters import (
+    ALL_FILTERS,
+    DEFAULT_FILTER,
+    MOST_LIBERAL_FILTER,
+    ConflictFilter,
+    parse_filter,
+)
+from repro.core.ground_truth import GroundTruthClassifier
+from repro.core.mct import MissClassificationTable
+
+__all__ = [
+    "ALL_FILTERS",
+    "AccuracyResult",
+    "ClassifiedMiss",
+    "ConflictFilter",
+    "DEFAULT_FILTER",
+    "GroundTruthClassifier",
+    "MOST_LIBERAL_FILTER",
+    "MissClass",
+    "MissClassificationTable",
+    "measure_accuracy",
+    "parse_filter",
+    "sweep_tag_bits",
+]

@@ -1,0 +1,74 @@
+"""Miss classification vocabulary.
+
+The paper distinguishes **conflict** misses from **capacity** misses and
+deliberately folds compulsory (cold) misses into capacity "for simplicity".
+We keep all three values so the ground-truth oracle can report the full
+breakdown, and provide :meth:`MissClass.is_conflict` for the paper's binary
+view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MissClass(Enum):
+    """The classic (Hill) taxonomy of cache misses.
+
+    * ``CONFLICT`` — the miss would have been a hit in a fully-associative
+      LRU cache of the same capacity.
+    * ``CAPACITY`` — the block was referenced before but has fallen out of
+      even a fully-associative cache of this size.
+    * ``COMPULSORY`` — first-ever reference to the block.
+
+    The MCT itself only ever emits CONFLICT or CAPACITY (it cannot see
+    compulsory misses; they simply fail to match and land in CAPACITY,
+    exactly as the paper groups them).
+    """
+
+    CONFLICT = "conflict"
+    CAPACITY = "capacity"
+    COMPULSORY = "compulsory"
+
+    @property
+    def is_conflict(self) -> bool:
+        """The paper's binary view: conflict vs everything else."""
+        return self is MissClass.CONFLICT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ClassifiedMiss:
+    """One miss together with everything the classifiers said about it.
+
+    Attributes
+    ----------
+    address:
+        The missing byte address.
+    set_index:
+        The L1 set the address maps to.
+    predicted:
+        The MCT's on-the-fly classification.
+    actual:
+        The ground-truth (classic-definition) classification, when an
+        oracle was running; None in pure-hardware simulations.
+    evicted_conflict_bit:
+        The conflict bit of the line this miss displaced (False when the
+        fill hit an empty way) — input to the in/and/or-conflict filters.
+    """
+
+    address: int
+    set_index: int
+    predicted: MissClass
+    actual: MissClass | None = None
+    evicted_conflict_bit: bool = False
+
+    @property
+    def correct(self) -> bool | None:
+        """Whether prediction matched truth under the binary grouping."""
+        if self.actual is None:
+            return None
+        return self.predicted.is_conflict == self.actual.is_conflict

@@ -1,0 +1,79 @@
+"""Ground-truth miss classification (the classic Hill definition).
+
+Figures 1 and 2 of the paper report the MCT's *accuracy*, which requires an
+oracle that knows each miss's true class.  Following Hill's taxonomy:
+
+* a miss to a never-before-referenced block is **compulsory**;
+* a miss that would have *hit* in a fully-associative LRU cache of the same
+  total capacity is a **conflict** miss (only the mapping, not the
+  capacity, is to blame);
+* the remaining misses are **capacity** misses.
+
+The oracle therefore runs a fully-associative LRU model of the target cache
+in parallel with the real cache.  The FA model observes *every* access (its
+LRU ordering must reflect the full reference stream), while classification
+questions are asked only for real-cache misses.
+
+Call order per reference: decide hit/miss in the real cache, then (on a
+miss) call :meth:`classify_miss`, then always call :meth:`observe`.
+"""
+
+from __future__ import annotations
+
+from repro.cache.fully_assoc import FullyAssociativeLRU
+from repro.cache.geometry import CacheGeometry
+from repro.core.classification import MissClass
+
+
+class GroundTruthClassifier:
+    """Oracle conflict/capacity/compulsory classification for one cache."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._fa = FullyAssociativeLRU(capacity=geometry.num_lines)
+        self._seen: set[int] = set()
+        self.compulsory = 0
+        self.conflict = 0
+        self.capacity = 0
+
+    def classify_miss(self, addr: int) -> MissClass:
+        """Classify a real-cache miss to ``addr``.
+
+        Must be called *before* :meth:`observe` for the same reference,
+        otherwise the FA model would already contain the block and every
+        miss would look like a conflict.
+        """
+        block = self.geometry.block_number(addr)
+        if block not in self._seen:
+            self.compulsory += 1
+            return MissClass.COMPULSORY
+        if self._fa.probe(block):
+            self.conflict += 1
+            return MissClass.CONFLICT
+        self.capacity += 1
+        return MissClass.CAPACITY
+
+    def observe(self, addr: int) -> None:
+        """Feed one reference (hit or miss) to the FA model."""
+        block = self.geometry.block_number(addr)
+        self._seen.add(block)
+        self._fa.access(block)
+
+    @property
+    def total_classified(self) -> int:
+        return self.compulsory + self.conflict + self.capacity
+
+    def miss_breakdown(self) -> dict[str, int]:
+        """Counts per class, for reports."""
+        return {
+            "compulsory": self.compulsory,
+            "conflict": self.conflict,
+            "capacity": self.capacity,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<GroundTruthClassifier {self.geometry.describe()}: "
+            f"{self.conflict} conflict / {self.capacity} capacity / "
+            f"{self.compulsory} compulsory>"
+        )

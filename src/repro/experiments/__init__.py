@@ -1,0 +1,32 @@
+"""One module per paper table/figure, plus the CLI runner.
+
+====================  =============================================
+module                paper result
+====================  =============================================
+fig1_accuracy         Figure 1 — classification accuracy, 4 caches
+fig2_tag_bits         Figure 2 — accuracy vs stored tag bits
+fig3_victim           Figure 3 — victim-cache policy speedups
+table1_victim         Table 1 — victim hit rates and swap/fill traffic
+fig4_prefetch         Figure 4 — prefetch filtering (accuracy, speedup)
+fig5_exclusion        Figure 5 — exclusion policies vs the MAT
+sec54_pseudo          §5.4 — MCT-biased pseudo-associative cache
+fig6_amb              Figure 6 — Adaptive Miss Buffer speedups
+fig7_amb_hits         Figure 7 — AMB hit-rate components
+sec56_multithreaded   §5.6 extension — shared-cache co-runs (measured)
+assoc_sweep           §5.6 extension — associativity sweep (measured)
+====================  =============================================
+"""
+
+from repro.experiments.base import (
+    DEFAULT_PARAMS,
+    ExperimentParams,
+    ExperimentResult,
+    format_result,
+)
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "ExperimentParams",
+    "ExperimentResult",
+    "format_result",
+]

@@ -1,0 +1,65 @@
+"""Shared machinery for the speedup-style experiments (Figs 3-6).
+
+Runs a set of assist policies over the Section-5 suite and tabulates
+per-benchmark speedups against a baseline policy, plus the arithmetic
+average the paper's bar charts show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.cache.stats import SystemStats
+from repro.experiments.base import ExperimentParams, ExperimentResult
+from repro.system.config import MachineConfig, PAPER_MACHINE
+from repro.system.policies import AssistConfig
+from repro.system.simulator import simulate, speedup
+from repro.workloads.spec_analogs import build
+
+
+def run_policies_over_suite(
+    policies: Sequence[AssistConfig],
+    params: ExperimentParams,
+    suite: Sequence[str],
+    machine: MachineConfig = PAPER_MACHINE,
+) -> Dict[str, Dict[str, SystemStats]]:
+    """stats[bench][policy_name] for every (benchmark, policy) pair."""
+    out: Dict[str, Dict[str, SystemStats]] = {}
+    for name in suite:
+        trace = build(name, params.n_refs, params.seed)
+        out[name] = {
+            p.name: simulate(trace, p, machine, warmup=params.warmup)
+            for p in policies
+        }
+    return out
+
+
+def speedup_table(
+    experiment_id: str,
+    title: str,
+    baseline: AssistConfig,
+    policies: Sequence[AssistConfig],
+    params: ExperimentParams,
+    suite: Sequence[str],
+    machine: MachineConfig = PAPER_MACHINE,
+    paper_reference: str = "",
+) -> ExperimentResult:
+    """Per-benchmark speedup of each policy over ``baseline``."""
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["bench"] + [p.name for p in policies],
+        paper_reference=paper_reference,
+    )
+    stats = run_policies_over_suite([baseline] + list(policies), params, suite, machine)
+    sums = {p.name: 0.0 for p in policies}
+    for bench in suite:
+        base = stats[bench][baseline.name]
+        cells: list[object] = [bench]
+        for p in policies:
+            s = speedup(stats[bench][p.name], base)
+            sums[p.name] += s
+            cells.append(s)
+        result.add_row(*cells)
+    result.add_row("AVERAGE", *[sums[p.name] / len(suite) for p in policies])
+    return result

@@ -1,0 +1,76 @@
+"""Figure 1 — MCT classification accuracy across cache configurations.
+
+The paper reports, for each benchmark and for four caches (16KB DM,
+16KB 2-way, 64KB DM, 64KB 2-way), the percentage of true conflict misses
+the MCT labels conflict and the percentage of true capacity (incl.
+compulsory) misses it labels capacity.  Headline: 88%/86% on the 16KB DM
+cache, 91%/92% on the 64KB DM cache, "correctly identifies 87% of misses
+in the worst case".
+
+Accuracy runs start cold and store the full tag, exactly as in Section 3.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.accuracy import measure_accuracy
+from repro.experiments.base import (
+    DEFAULT_PARAMS,
+    ExperimentParams,
+    ExperimentResult,
+    FULL_SUITE,
+)
+from repro.workloads.spec_analogs import build
+
+#: The four bars of Figure 1, left to right.
+FIG1_CONFIGS = (
+    CacheGeometry(size=16 * 1024, assoc=1, line_size=64),
+    CacheGeometry(size=16 * 1024, assoc=2, line_size=64),
+    CacheGeometry(size=64 * 1024, assoc=1, line_size=64),
+    CacheGeometry(size=64 * 1024, assoc=2, line_size=64),
+)
+
+
+def run(params: ExperimentParams = DEFAULT_PARAMS) -> ExperimentResult:
+    """Per-benchmark and average accuracies for the four configurations."""
+    suite = params.bench_suite(FULL_SUITE)
+    result = ExperimentResult(
+        experiment_id="fig1",
+        title="Miss-classification accuracy (conflict% / capacity%)",
+        headers=["bench"]
+        + [f"{g.describe().split(',')[0]} {kind}"
+           for g in FIG1_CONFIGS for kind in ("conf", "cap")],
+        paper_reference="Figure 1: ~88/86 (16KB DM), ~91/92 (64KB DM)",
+    )
+
+    # Aggregate true-positive counts for a miss-weighted average.
+    agg = [[0, 0, 0, 0] for _ in FIG1_CONFIGS]  # cf_ok, cf_all, cp_ok, cp_all
+    for name in suite:
+        trace = build(name, params.n_refs, params.seed)
+        cells: list[object] = [name]
+        for i, geometry in enumerate(FIG1_CONFIGS):
+            acc = measure_accuracy(trace.addresses, geometry)
+            cells.extend([acc.conflict_accuracy, acc.capacity_accuracy])
+            c = acc.classification
+            agg[i][0] += c.conflict_as_conflict
+            agg[i][1] += c.true_conflicts
+            agg[i][2] += c.capacity_as_capacity
+            agg[i][3] += c.true_capacities
+        result.add_row(*cells)
+
+    avg: list[object] = ["AVERAGE"]
+    for cf_ok, cf_all, cp_ok, cp_all in agg:
+        avg.append(100.0 * cf_ok / cf_all if cf_all else 0.0)
+        avg.append(100.0 * cp_ok / cp_all if cp_all else 0.0)
+    result.add_row(*avg)
+    result.notes.append(
+        "AVERAGE is miss-weighted across the suite; compulsory misses count "
+        "as capacity, matching the paper's grouping."
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    from repro.experiments.base import format_result
+
+    print(format_result(run()))

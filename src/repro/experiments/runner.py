@@ -1,0 +1,136 @@
+"""CLI runner: regenerate any paper table/figure.
+
+Usage (installed as ``repro-experiments``)::
+
+    repro-experiments all
+    repro-experiments fig1 fig6
+    repro-experiments fig4 --refs 200000 --warmup 60000
+    repro-experiments table1 --quick
+
+Each experiment prints an ASCII table matching the corresponding table or
+figure of the paper; see EXPERIMENTS.md for the committed results and the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    assoc_sweep,
+    fig1_accuracy,
+    fig2_tag_bits,
+    fig3_victim,
+    fig4_prefetch,
+    fig5_exclusion,
+    fig6_amb,
+    fig7_amb_hits,
+    sec54_pseudo,
+    sec56_multithreaded,
+    table1_victim,
+)
+from repro.experiments.base import ExperimentParams, ExperimentResult, format_result
+
+RunFn = Callable[[ExperimentParams], List[ExperimentResult]]
+
+
+def _single(fn: Callable[[ExperimentParams], ExperimentResult]) -> RunFn:
+    return lambda params: [fn(params)]
+
+
+EXPERIMENTS: Dict[str, RunFn] = {
+    "fig1": _single(fig1_accuracy.run),
+    "fig2": _single(fig2_tag_bits.run),
+    "fig3": _single(fig3_victim.run),
+    "table1": _single(table1_victim.run),
+    "fig4": lambda p: [fig4_prefetch.run_accuracy(p), fig4_prefetch.run_speedup(p)],
+    "fig5": lambda p: [fig5_exclusion.run(p), fig5_exclusion.run_hit_rates(p)],
+    "sec54": _single(sec54_pseudo.run),
+    "fig6": lambda p: list(fig6_amb.run_both_sizes(p)),
+    "fig7": lambda p: [fig7_amb_hits.run(p, 8), fig7_amb_hits.run(p, 16)],
+    # Extensions beyond the paper's figures (§5.6, measured here):
+    "sec56": _single(sec56_multithreaded.run),
+    "assoc": _single(assoc_sweep.run),
+}
+
+
+def run_experiments(
+    names: List[str], params: ExperimentParams
+) -> List[ExperimentResult]:
+    results: List[ExperimentResult] = []
+    for name in names:
+        try:
+            fn = EXPERIMENTS[name]
+        except KeyError:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(EXPERIMENTS)} or 'all'"
+            )
+        results.extend(fn(params))
+    return results
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate tables/figures from Collins & Tullsen, MICRO 1999.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument("--refs", type=int, default=None, help="trace length")
+    parser.add_argument("--warmup", type=int, default=None, help="warmup refs")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--quick", action="store_true", help="small traces for a fast pass"
+    )
+    parser.add_argument(
+        "--chart",
+        metavar="COLUMN",
+        default=None,
+        help="also draw an ASCII bar chart of one result column",
+    )
+    args = parser.parse_args(argv)
+
+    params = ExperimentParams.quick() if args.quick else ExperimentParams()
+    overrides = {}
+    if args.refs is not None:
+        overrides["n_refs"] = args.refs
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    if args.seed:
+        overrides["seed"] = args.seed
+    if overrides:
+        params = ExperimentParams(
+            n_refs=overrides.get("n_refs", params.n_refs),
+            warmup=overrides.get("warmup", params.warmup),
+            seed=overrides.get("seed", params.seed),
+        )
+
+    names = (
+        sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    )
+    for name in names:
+        start = time.time()
+        for result in run_experiments([name], params):
+            print(format_result(result))
+            if args.chart:
+                from repro.experiments.charts import bar_chart
+
+                try:
+                    print()
+                    print(bar_chart(result, args.chart))
+                except ValueError as exc:
+                    print(f"(no chart: {exc})", file=sys.stderr)
+            print()
+        print(f"[{name}: {time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

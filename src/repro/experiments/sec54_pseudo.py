@@ -1,0 +1,114 @@
+"""Section 5.4 — the MCT-biased pseudo-associative cache.
+
+Compares four L1 organisations of equal capacity:
+
+* plain direct-mapped (the other experiments' baseline),
+* the baseline pseudo-associative (column-associative) cache with LRU
+  choice between the two candidate slots,
+* the §5.4 variant biased by conflict bits from the per-slot MCT,
+* a true 2-way set-associative cache (same capacity, LRU).
+
+Paper numbers: the MCT variant improves the pseudo-associative cache by
+1.5% on average (individual gains to 7%), runs only 0.9% behind a true
+2-way cache (tomcatv, turb3d and wave5 beat it), and improves the average
+miss rate from 10.22% to 9.83%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.pseudo_assoc import PacVariant
+from repro.experiments.base import (
+    DEFAULT_PARAMS,
+    ExperimentParams,
+    ExperimentResult,
+    SECTION5_SUITE,
+)
+from repro.system.config import PAPER_MACHINE, MachineConfig
+from repro.system.pac_system import simulate_pac
+from repro.system.policies import BASELINE
+from repro.system.simulator import simulate, speedup
+from repro.workloads.spec_analogs import build
+
+
+def _two_way_machine(machine: MachineConfig) -> MachineConfig:
+    l1 = machine.l1
+    return replace(
+        machine,
+        l1=CacheGeometry(size=l1.size, assoc=2, line_size=l1.line_size),
+    )
+
+
+def run(params: ExperimentParams = DEFAULT_PARAMS) -> ExperimentResult:
+    suite = params.bench_suite(SECTION5_SUITE)
+    machine = PAPER_MACHINE
+    result = ExperimentResult(
+        experiment_id="sec54",
+        title="Pseudo-associative cache: speedup over direct-mapped, and miss rates",
+        headers=[
+            "bench",
+            "PAC-base",
+            "PAC-MCT",
+            "2-way",
+            "miss DM",
+            "miss PAC-base",
+            "miss PAC-MCT",
+            "miss 2-way",
+        ],
+        paper_reference="§5.4: MCT bias +1.5% avg (up to 7%); within 0.9% of "
+        "2-way; miss rate 10.22% -> 9.83%",
+    )
+
+    sums = {"PAC-base": 0.0, "PAC-MCT": 0.0, "2-way": 0.0}
+    miss_sums = {"DM": 0.0, "PAC-base": 0.0, "PAC-MCT": 0.0, "2-way": 0.0}
+    for bench in suite:
+        trace = build(bench, params.n_refs, params.seed)
+        dm = simulate(trace, BASELINE, machine, warmup=params.warmup)
+        pac_base = simulate_pac(
+            trace, PacVariant.CLASSIC, machine, warmup=params.warmup
+        )
+        pac_mct = simulate_pac(
+            trace, PacVariant.MCT, machine, warmup=params.warmup
+        )
+        two_way = simulate(
+            trace, BASELINE, _two_way_machine(machine), warmup=params.warmup
+        )
+        row = [
+            bench,
+            speedup(pac_base, dm),
+            speedup(pac_mct, dm),
+            speedup(two_way, dm),
+            dm.l1.miss_rate,
+            pac_base.l1.miss_rate,
+            pac_mct.l1.miss_rate,
+            two_way.l1.miss_rate,
+        ]
+        result.add_row(*row)
+        sums["PAC-base"] += row[1]
+        sums["PAC-MCT"] += row[2]
+        sums["2-way"] += row[3]
+        miss_sums["DM"] += row[4]
+        miss_sums["PAC-base"] += row[5]
+        miss_sums["PAC-MCT"] += row[6]
+        miss_sums["2-way"] += row[7]
+
+    n = len(suite)
+    result.add_row(
+        "AVERAGE",
+        sums["PAC-base"] / n,
+        sums["PAC-MCT"] / n,
+        sums["2-way"] / n,
+        miss_sums["DM"] / n,
+        miss_sums["PAC-base"] / n,
+        miss_sums["PAC-MCT"] / n,
+        miss_sums["2-way"] / n,
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.base import format_result
+
+    print(format_result(run()))

@@ -1,0 +1,31 @@
+"""Extensions: the paper's §5.6 'Other Applications of Miss Classification'.
+
+The paper sketches three further uses of the MCT without evaluating them;
+this package implements all three so they can be measured:
+
+* :mod:`repro.extensions.assoc_replacement` — conflict-bit-biased
+  replacement for highly-associative caches (the Stone/Pomerene shadow-
+  directory suggestion).
+* :mod:`repro.extensions.page_remap` — the cache-miss-lookaside /
+  dynamic page-remapping scheme of Bershad et al., with the paper's
+  proposed conflict-only miss counting.
+* :mod:`repro.extensions.coscheduling` — conflict-aware job
+  co-scheduling for multithreaded/multiprogrammed caches.
+"""
+
+from repro.extensions.assoc_replacement import (
+    ConflictBiasedReplacement,
+    compare_assoc_replacement,
+)
+from repro.extensions.coscheduling import CoScheduleAdvisor, PairingReport
+from repro.extensions.page_remap import PageRemapper, RemapPolicy, simulate_remap
+
+__all__ = [
+    "CoScheduleAdvisor",
+    "ConflictBiasedReplacement",
+    "PageRemapper",
+    "PairingReport",
+    "RemapPolicy",
+    "compare_assoc_replacement",
+    "simulate_remap",
+]

@@ -1,0 +1,111 @@
+"""Assist-buffer policy configuration.
+
+Every Section-5 architecture — victim cache (§5.1), filtered next-line
+prefetching (§5.2), cache exclusion (§5.3), and all Adaptive Miss Buffer
+combinations (§5.5) — is one setting of :class:`AssistConfig` interpreted
+by :class:`repro.system.memory_system.MemorySystem`.  That mirrors the
+paper's observation that the four mechanisms share "a very similar
+structure": a single small buffer whose fill/hit behaviour differs per
+policy.  Named presets for each figure live in :mod:`repro.buffers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Optional
+
+from repro.core.filters import ConflictFilter
+
+
+class ExclusionMode(Enum):
+    """Which misses bypass the cache into the buffer (§5.3 policies)."""
+
+    CAPACITY = "capacity"               # bypass misses the MCT calls capacity
+    CONFLICT = "conflict"               # bypass misses the MCT calls conflict
+    CAPACITY_HISTORY = "capacity-history"  # bypass regions with capacity history
+    CONFLICT_HISTORY = "conflict-history"  # bypass regions with conflict history
+    MAT = "mat"                          # Johnson & Hwu's memory access table
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AssistConfig:
+    """One cache-assist architecture.
+
+    The default instance is "no buffer at all" (the baseline bar of every
+    figure).  Set the victim/prefetch/exclusion fields to enable the
+    corresponding behaviours; they compose freely — the AMB presets enable
+    several at once.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    buffer_entries:
+        Buffer capacity; 0 disables the buffer entirely (pure baseline).
+    victim_fills:
+        Place lines evicted from L1 into the buffer (victim caching).
+    victim_fill_filter:
+        When set, only victim-fill if the filter labels the (new miss,
+        evicted line) pair a conflict event — §5.1's "filter fills".
+    victim_swap:
+        Swap a victim-buffer hit back into L1 (the traditional policy).
+    victim_no_swap_filter:
+        When set, *skip* the swap if the filter labels the hit a conflict
+        event — §5.1's "filter swaps" (serve the data from the buffer and
+        leave the lines where they are).
+    prefetch:
+        Next-line prefetch into the buffer on misses and buffer hits.
+    prefetch_filter:
+        When set, suppress the prefetch if the filter labels the miss a
+        conflict event — §5.2's capacity-only prefetching.
+    exclusion:
+        Bypass mode (§5.3), or None for no exclusion.
+    mct_install_on_bypass:
+        §5.3's MCT tweak: install a bypassed line's tag in the MCT so it
+        can later be recognised as a conflict miss.  On by default
+        (ablated in the benchmarks).
+    mct_tag_bits:
+        Stored-tag width for the MCT (None = full tags, as in all of
+        Section 5).
+    """
+
+    name: str = "baseline"
+    buffer_entries: int = 0
+    victim_fills: bool = False
+    victim_fill_filter: Optional[ConflictFilter] = None
+    victim_swap: bool = True
+    victim_no_swap_filter: Optional[ConflictFilter] = None
+    prefetch: bool = False
+    prefetch_filter: Optional[ConflictFilter] = None
+    exclusion: Optional[ExclusionMode] = None
+    mct_install_on_bypass: bool = True
+    mct_tag_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.buffer_entries < 0:
+            raise ValueError("buffer_entries must be >= 0")
+        uses_buffer = self.victim_fills or self.prefetch or self.exclusion is not None
+        if uses_buffer and self.buffer_entries == 0:
+            raise ValueError(
+                f"policy {self.name!r} uses the assist buffer but "
+                "buffer_entries is 0"
+            )
+
+    @property
+    def uses_buffer(self) -> bool:
+        return self.buffer_entries > 0
+
+    def renamed(self, name: str) -> "AssistConfig":
+        return replace(self, name=name)
+
+    def with_entries(self, entries: int) -> "AssistConfig":
+        """Same policy, different buffer size (Figure 6's 16-entry AMB)."""
+        return replace(self, buffer_entries=entries)
+
+
+#: The no-buffer baseline every speedup figure normalises against.
+BASELINE = AssistConfig()

@@ -1,0 +1,89 @@
+"""Trace-driven simulation runner.
+
+Thin orchestration: feed a :class:`~repro.workloads.trace.Trace` through a
+:class:`~repro.system.memory_system.MemorySystem` and return the final
+:class:`~repro.cache.stats.SystemStats`.  Also provides the speedup
+helpers the figures are built from (IPC relative to a baseline policy on
+the same trace) and the geometric/arithmetic means the paper averages
+with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.cache.stats import SystemStats
+from repro.system.config import MachineConfig, PAPER_MACHINE
+from repro.system.memory_system import MemorySystem
+from repro.system.policies import AssistConfig
+from repro.workloads.trace import Trace
+
+
+def simulate(
+    trace: Trace,
+    policy: AssistConfig,
+    machine: MachineConfig = PAPER_MACHINE,
+    *,
+    warmup: int = 0,
+) -> SystemStats:
+    """Run one trace through one policy on one machine.
+
+    ``warmup`` references are simulated first to warm the caches, buffer
+    and MCT; statistics and the cycle clock are then reset before the
+    remaining references are measured (the stand-in for the paper's
+    billion-instruction fast-forward).
+    """
+    if not 0 <= warmup <= len(trace):
+        raise ValueError(f"warmup {warmup} outside [0, {len(trace)}]")
+    system = MemorySystem(policy, machine)
+    access = system.access
+    addresses = trace.addresses
+    is_load = trace.is_load
+    gaps = trace.gaps
+    for i in range(warmup):
+        access(int(addresses[i]), is_load=bool(is_load[i]), gap=int(gaps[i]))
+    if warmup:
+        system.reset_measurement()
+    for i in range(warmup, len(addresses)):
+        access(int(addresses[i]), is_load=bool(is_load[i]), gap=int(gaps[i]))
+    return system.finish()
+
+
+def simulate_policies(
+    trace: Trace,
+    policies: Sequence[AssistConfig],
+    machine: MachineConfig = PAPER_MACHINE,
+    *,
+    warmup: int = 0,
+) -> Dict[str, SystemStats]:
+    """Run the same trace through several policies (fresh system each)."""
+    return {p.name: simulate(trace, p, machine, warmup=warmup) for p in policies}
+
+
+def speedup(stats: SystemStats, baseline: SystemStats) -> float:
+    """IPC ratio versus a baseline run of the same trace."""
+    base_ipc = baseline.timing.ipc
+    if base_ipc == 0:
+        raise ValueError("baseline run has no cycles — was finish() called?")
+    return stats.timing.ipc / base_ipc
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (the paper's 'average speedup' bars)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, for readers who prefer it for speedup ratios."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geomean requires positive values")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,227 @@
+"""Cycle-accounting timing model (the SMTSIM substitution).
+
+The paper measures speedups on SMTSIM, an emulation-driven out-of-order
+processor simulator.  We cannot run Alpha binaries, so performance is
+estimated with a deterministic cycle-accounting model that preserves the
+effects the paper's results hinge on:
+
+* **Issue bandwidth** — instructions retire at ``width`` per cycle.
+* **Bounded out-of-order tolerance** — an outstanding memory operation
+  stalls retirement only once the core has slid ``rob_window``
+  instructions past it; misses issued close together therefore overlap
+  (memory-level parallelism), while isolated long-latency misses expose
+  most of their latency.
+* **Limited outstanding misses** — at most ``mshrs`` cache misses in
+  flight; a further demand miss stalls until one completes, and
+  *prefetches are discarded* instead of stalling (paper Section 4).
+  Short assist-buffer hits ride the same retirement machinery but do not
+  consume MSHRs.
+* **Bank, bus and buffer contention** — the L1 is 8-way banked, the
+  L1↔L2 bus is occupied per line transfer, and the assist buffer's ports
+  are occupied by probes and line moves.  Victim-cache **swaps** hold both
+  a cache bank and the buffer for two cycles; this occupancy is what the
+  filtered victim policies of Section 5.1 win back.
+
+The model is driven by the memory system: it reports each reference's gap
+(non-memory instructions) and each event (hit level, line transfers,
+swaps), and reads back the final cycle count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.cache.stats import TimingStats
+from repro.system.config import TimingConfig
+
+# One outstanding memory operation:
+# (instruction count at issue, completion time, consumes an MSHR).
+_Pending = Tuple[int, float, bool]
+
+
+class TimingModel:
+    """Deterministic cycle accounting for one simulated run."""
+
+    def __init__(self, config: TimingConfig) -> None:
+        self.config = config
+        self.clock = 0.0
+        self.instructions = 0
+        self._pending: Deque[_Pending] = deque()
+        self._prefetches: List[float] = []  # completion times, MSHR-only
+        self._mshrs_in_use = 0
+        self._bus_free = 0.0
+        self._bank_free: List[float] = [0.0] * config.n_banks
+        self._buffer_free = 0.0
+        self.stats = TimingStats()
+
+    # ------------------------------------------------------------------
+    # Instruction flow
+    # ------------------------------------------------------------------
+    def step(self, gap: int) -> None:
+        """Advance past ``gap`` non-memory instructions plus this reference."""
+        issued = gap + 1
+        self.instructions += issued
+        self.clock += issued / self.config.issue_rate
+        self.stats.memory_refs += 1
+        self._drain()
+
+    def _pop_left(self) -> _Pending:
+        entry = self._pending.popleft()
+        if entry[2]:
+            self._mshrs_in_use -= 1
+        return entry
+
+    def _drain(self) -> None:
+        """Retire completed operations; stall on those outside the window."""
+        window = self.config.rob_window
+        while self._pending:
+            issue_instr, completion, _ = self._pending[0]
+            if completion <= self.clock:
+                self._pop_left()
+            elif self.instructions - issue_instr > window:
+                # Retirement caught up with an incomplete operation: stall.
+                self.stats.stall_cycles += completion - self.clock
+                self.clock = completion
+                self._pop_left()
+            else:
+                break
+
+    # ------------------------------------------------------------------
+    # Structural resources
+    # ------------------------------------------------------------------
+    def _gc_prefetches(self) -> None:
+        if self._prefetches:
+            now = self.clock
+            self._prefetches = [c for c in self._prefetches if c > now]
+
+    def mshr_available(self) -> bool:
+        """True when another miss could be issued right now."""
+        self._gc_prefetches()
+        return self._mshrs_in_use + len(self._prefetches) < self.config.mshrs
+
+    def _acquire_mshr(self) -> None:
+        """Block until an MSHR frees (demand misses stall the pipeline)."""
+        self._gc_prefetches()
+        if self._mshrs_in_use + len(self._prefetches) < self.config.mshrs:
+            return
+        candidates = [c for (_, c, m) in self._pending if m] + self._prefetches
+        earliest = min(candidates)
+        if earliest > self.clock:
+            self.stats.stall_cycles += earliest - self.clock
+            self.clock = earliest
+        # Remove everything that has now completed.
+        still: Deque[_Pending] = deque()
+        for entry in self._pending:
+            if entry[1] <= self.clock:
+                if entry[2]:
+                    self._mshrs_in_use -= 1
+            else:
+                still.append(entry)
+        self._pending = still
+        self._gc_prefetches()
+
+    def acquire_bus(self, when: float) -> float:
+        """Reserve the L1-L2 bus at or after ``when``; returns start time."""
+        start = max(when, self._bus_free)
+        wait = start - when
+        if wait > 0:
+            self.stats.contention_cycles += wait
+        self._bus_free = start + self.config.bus_transfer_cycles
+        return start
+
+    def occupy_bank(self, bank: int, cycles: int) -> float:
+        """Reserve an L1 bank; returns the operation's start time."""
+        start = max(self.clock, self._bank_free[bank])
+        wait = start - self.clock
+        if wait > 0:
+            self.stats.contention_cycles += wait
+        self._bank_free[bank] = start + cycles
+        return start
+
+    def occupy_buffer(self, cycles: int) -> float:
+        """Reserve the assist buffer's ports; returns the start time."""
+        start = max(self.clock, self._buffer_free)
+        wait = start - self.clock
+        if wait > 0:
+            self.stats.contention_cycles += wait
+        self._buffer_free = start + cycles
+        return start
+
+    # ------------------------------------------------------------------
+    # Memory-operation bookkeeping
+    # ------------------------------------------------------------------
+    def issue_miss(self, latency: float, *, start: float | None = None) -> float:
+        """Register a demand miss; returns its completion time.
+
+        ``start`` defaults to the current clock (bus acquisition may push
+        it later).  The miss occupies an MSHR until completion and stalls
+        retirement per the window rule in :meth:`step`.
+        """
+        self._acquire_mshr()
+        begin = self.clock if start is None else max(start, self.clock)
+        completion = begin + latency
+        self._pending.append((self.instructions, completion, True))
+        self._mshrs_in_use += 1
+        return completion
+
+    def issue_prefetch(self, latency: float, *, start: float | None = None) -> float | None:
+        """Register a prefetch; returns completion time or None if discarded.
+
+        Prefetches never stall: when all MSHRs are busy the prefetch is
+        dropped (the caller counts it as discarded).
+        """
+        if not self.mshr_available():
+            return None
+        begin = self.clock if start is None else max(start, self.clock)
+        completion = begin + latency
+        # Prefetches hold an MSHR until completion but never stall
+        # retirement — nothing in the ROB waits on them.
+        self._prefetches.append(completion)
+        return completion
+
+    def note_short_op(self, completion: float) -> None:
+        """Track a short operation (buffer hit) through the window rule.
+
+        Does not consume an MSHR; a couple of cycles are normally hidden
+        entirely unless port contention has pushed ``completion`` far out.
+        """
+        if completion > self.clock:
+            self._pending.append((self.instructions, completion, False))
+
+    def reset_measurement(self) -> None:
+        """Zero the clock and counters, keeping no in-flight state.
+
+        Used for warmup: the caches and buffers stay warm, but cycle
+        accounting restarts (the paper's equivalent is fast-forwarding a
+        billion instructions before measuring).
+        """
+        self.clock = 0.0
+        self.instructions = 0
+        self._pending.clear()
+        self._prefetches.clear()
+        self._mshrs_in_use = 0
+        self._bus_free = 0.0
+        self._bank_free = [0.0] * self.config.n_banks
+        self._buffer_free = 0.0
+        self.stats = TimingStats()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finish(self) -> TimingStats:
+        """Drain outstanding operations and return final statistics."""
+        while self._pending:
+            _, completion, _ = self._pop_left()
+            if completion > self.clock:
+                self.stats.stall_cycles += completion - self.clock
+                self.clock = completion
+        self._prefetches.clear()  # nothing waits on in-flight prefetches
+        self.stats.cycles = self.clock
+        self.stats.instructions = self.instructions
+        return self.stats
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle so far (without draining)."""
+        return self.instructions / self.clock if self.clock else 0.0

@@ -1,0 +1,49 @@
+"""Synthetic workloads: primitive streams, mixes, SPEC95 analogs."""
+
+from repro.workloads.icache import (
+    Function,
+    conflicting_call_workload,
+    program,
+)
+from repro.workloads.mixes import Component, interleave, region_base
+from repro.workloads.spec_analogs import (
+    ACCURACY_SUITE,
+    EVAL_SUITE,
+    SUITE,
+    BenchmarkSpec,
+    build,
+    build_suite,
+)
+from repro.workloads.streams import (
+    AddressStream,
+    ConflictStream,
+    HotSetStream,
+    PointerChaseStream,
+    SequentialBurstStream,
+    StridedStream,
+)
+from repro.workloads.trace import MemoryRef, Trace, merge_round_robin
+
+__all__ = [
+    "ACCURACY_SUITE",
+    "AddressStream",
+    "BenchmarkSpec",
+    "Component",
+    "ConflictStream",
+    "EVAL_SUITE",
+    "Function",
+    "HotSetStream",
+    "MemoryRef",
+    "PointerChaseStream",
+    "SUITE",
+    "SequentialBurstStream",
+    "StridedStream",
+    "Trace",
+    "build",
+    "build_suite",
+    "conflicting_call_workload",
+    "interleave",
+    "program",
+    "merge_round_robin",
+    "region_base",
+]

@@ -1,0 +1,113 @@
+"""Instruction-fetch streams (the paper's I-cache remark, §4).
+
+"We will apply the various architectural techniques exclusively to the
+data cache in the following sections; however, they should, in general,
+also apply to the instruction cache."  This module provides the workload
+side of checking that: synthetic instruction-fetch address streams with
+the structure that makes I-caches interesting —
+
+* long *sequential runs* (straight-line code) broken by taken branches,
+* tight *loops* that re-execute a small body,
+* *calls* to a working set of functions whose code addresses may alias
+  in the I-cache index bits (the classic source of I-cache conflict
+  misses between a caller/callee pair).
+
+:func:`program` builds a deterministic fetch trace from a function-call
+profile; ``conflicting_pair=True`` places two hot functions exactly one
+I-cache size apart so every alternation is a conflict near-miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+#: Fetch granularity: one access per 16 bytes (4 instructions) — a fetch
+#: block, which is how an I-cache is actually probed.
+FETCH_BYTES = 16
+
+
+@dataclass(frozen=True)
+class Function:
+    """A synthetic function: a code region executed front to back."""
+
+    name: str
+    base: int           # code start address
+    size: int           # bytes of straight-line code
+    loop_body: int = 0      # bytes of inner loop (0 = none)
+    loop_trips: int = 0     # times the loop body re-executes
+
+    def __post_init__(self) -> None:
+        if self.size < FETCH_BYTES:
+            raise ValueError("function must hold at least one fetch block")
+        if self.loop_body > self.size:
+            raise ValueError("loop body cannot exceed the function")
+
+    def fetch_addresses(self) -> List[int]:
+        """The fetch-block addresses of one execution of this function."""
+        out: List[int] = []
+        straight = range(self.base, self.base + self.size, FETCH_BYTES)
+        out.extend(straight)
+        if self.loop_body and self.loop_trips:
+            body_start = self.base + self.size - self.loop_body
+            body = list(range(body_start, self.base + self.size, FETCH_BYTES))
+            out.extend(body * self.loop_trips)
+        return out
+
+
+def program(
+    functions: Sequence[Function],
+    call_sequence: Sequence[int],
+    name: str = "icache-program",
+) -> Trace:
+    """Concatenate function executions per ``call_sequence`` into a trace.
+
+    ``call_sequence`` holds indices into ``functions``; the returned trace
+    has one reference per fetch block with small gaps (instruction fetch
+    happens every cycle, so the gap is zero).
+    """
+    if not functions:
+        raise ValueError("need at least one function")
+    addresses: List[int] = []
+    for idx in call_sequence:
+        addresses.extend(functions[idx].fetch_addresses())
+    return Trace(
+        np.asarray(addresses, dtype=np.int64),
+        gaps=np.zeros(len(addresses), dtype=np.int16),
+        name=name,
+    )
+
+
+def conflicting_call_workload(
+    icache_size: int = 16 * 1024,
+    *,
+    hot_size: int = 2048,
+    calls: int = 400,
+    with_cold_code: bool = True,
+) -> Trace:
+    """Caller/callee pair whose code aliases in the I-cache (conflicts).
+
+    Two hot functions are placed exactly ``icache_size`` apart so their
+    fetch blocks contend for the same sets — the canonical I-cache
+    conflict scenario the MCT should classify.  ``with_cold_code``
+    interleaves occasional executions of a large cold function (capacity
+    misses) so the stream has both miss kinds.
+    """
+    caller = Function("caller", base=0x40_0000, size=hot_size,
+                      loop_body=256, loop_trips=2)
+    callee = Function("callee", base=0x40_0000 + icache_size, size=hot_size)
+    funcs: List[Function] = [caller, callee]
+    sequence: List[int] = []
+    for i in range(calls):
+        sequence += [0, 1]
+        if with_cold_code and i % 8 == 7:
+            sequence.append(2)
+    if with_cold_code:
+        funcs.append(
+            Function("cold", base=0x80_0000, size=64 * 1024)
+        )
+    return program(funcs, sequence, name="icache-conflicting-calls")

@@ -1,0 +1,130 @@
+"""Weighted interleaving of primitive streams into a Trace.
+
+Real programs interleave behaviours at the granularity of inner loops, not
+single references, so the mixer draws *chunks* (default 16 references) from
+its component streams.  Chunk order is a seeded weighted random sequence:
+heavier streams appear proportionally more often, and the same seed always
+yields the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.streams import AddressStream
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class Component:
+    """One stream plus its mixing weight and store ratio."""
+
+    stream: AddressStream
+    weight: float = 1.0
+    store_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+
+
+def interleave(
+    components: Sequence[Component],
+    n_refs: int,
+    *,
+    seed: int = 0,
+    chunk: int = 16,
+    name: str = "mix",
+) -> Trace:
+    """Build a trace of ``n_refs`` references from weighted components.
+
+    Parameters
+    ----------
+    components:
+        The streams to mix; weights are normalised internally.
+    n_refs:
+        Total number of references in the resulting trace.
+    seed:
+        Seeds both the chunk-order draw and any randomness inside the
+        component streams (hot sets).  Component streams are reset first,
+        so the same call always produces the same trace.
+    chunk:
+        References taken from a stream per turn (inner-loop granularity).
+    """
+    if not components:
+        raise ValueError("need at least one component")
+    if n_refs < 0:
+        raise ValueError("n_refs must be non-negative")
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+
+    rng = np.random.Generator(np.random.PCG64(seed))
+    for comp in components:
+        comp.stream.reset()
+
+    weights = np.array([c.weight for c in components], dtype=float)
+    weights /= weights.sum()
+
+    addresses = np.empty(n_refs, dtype=np.int64)
+    gaps = np.empty(n_refs, dtype=np.int16)
+    is_load = np.ones(n_refs, dtype=bool)
+    pcs = np.empty(n_refs, dtype=np.int64)
+
+    pos = 0
+    while pos < n_refs:
+        which = int(rng.choice(len(components), p=weights))
+        comp = components[which]
+        take = min(chunk, n_refs - pos)
+        block = comp.stream.emit(take, rng)
+        addresses[pos : pos + take] = block
+        gaps[pos : pos + take] = comp.stream.gap
+        # One synthetic load PC per stream: the references of a stream come
+        # from one load instruction in a loop body, which is what PC-indexed
+        # structures (the RPT stride predictor, Tyson-style exclusion) key on.
+        pcs[pos : pos + take] = 0x40_0000 + which * 4
+        if comp.store_fraction > 0.0:
+            stores = rng.random(take) < comp.store_fraction
+            is_load[pos : pos + take] = ~stores
+        pos += take
+
+    return Trace(addresses, is_load, gaps, name=name, pcs=pcs)
+
+
+def region_base(
+    slot: int, region_size: int = 1 << 22, set_offset: int | None = None
+) -> int:
+    """A canonical non-overlapping base address for stream ``slot``.
+
+    Streams within one analog get distinct 4MB regions so their footprints
+    never alias by accident; index-bit collisions are then introduced
+    *deliberately* via :class:`~repro.workloads.streams.ConflictStream`.
+
+    Each slot is additionally skewed by a distinct set offset (61 lines per
+    slot by default, modulo a 16KB direct-mapped index space).  Without the
+    skew every stream's footprint would start at set 0, manufacturing deep
+    multi-way set conflicts between *unrelated* streams — behaviour real
+    programs' independently-placed data structures do not exhibit, and
+    which would unfairly swamp the single-entry-per-set MCT.
+
+    ``set_offset`` pins the footprint's first cache set explicitly (in
+    lines, against a 256-set / 16KB-DM index space); analogs use it to
+    keep hot working sets and conflict ping-pong groups disjoint in the
+    index bits, as independently-allocated structures usually are.
+    """
+    if slot < 0:
+        raise ValueError("slot must be non-negative")
+    if set_offset is None:
+        set_offset = (slot * 61) % 256
+    # Stagger regions by 128KB on top of the nominal size so that tags of
+    # corresponding lines in different regions differ in their LOW bits
+    # too: with exact 4MB spacing against a 16KB-DM cache, tag deltas are
+    # multiples of 256 and an 8-bit partial-tag MCT could not tell the
+    # analogs' streams apart (pure aliasing artefact, not workload
+    # behaviour).
+    spacing = region_size + (1 << 17)
+    return (slot + 1) * spacing + (set_offset % 256) * 64

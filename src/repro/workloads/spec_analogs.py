@@ -1,0 +1,459 @@
+"""Synthetic SPEC95-analog workloads.
+
+The paper drives SMTSIM with Alpha binaries of the SPEC95 reference inputs
+(1B instructions skipped, 300M measured).  Neither the binaries nor an
+Alpha emulator are available here, so each benchmark is replaced by a
+deterministic synthetic analog: a weighted mix of primitive address
+streams (:mod:`repro.workloads.streams`) parameterised to reproduce the
+behaviour the paper attributes to it — the conflict/capacity balance of
+its misses against a 16KB direct-mapped L1, its prefetch regularity, and
+its overall memory intensity.  Absolute miss rates will not match the real
+programs; the *mix* of miss types (which is all the MCT and its
+applications key on) is controlled directly.
+
+Notable calibration targets from the paper:
+
+* **tomcatv** — 38% L1 miss rate with no assist buffer; heavy strided
+  conflict+capacity mix; the biggest AMB winner.
+* **swim** — strided and prefetch-friendly; filtered prefetching *raises*
+  coverage by protecting the buffer.
+* **turb3d, wave5, tomcatv** — conflict-rich enough that the MCT-biased
+  pseudo-associative cache beats a true 2-way cache.
+* the **irregular C codes** (go, li, gcc, compress, vortex…) — "messier",
+  lower memory impact, still classified accurately.
+
+Stream-intrinsic miss rates against a 16KB DM L1 (useful when reading the
+mixes below): stride-8 sweeps miss 12.5% (capacity), stride-16 25%,
+burst-2 conflict ping-pong 50% (conflict near-misses), burst-3 pointer
+chase 33% (capacity when the heap exceeds the cache), hot sets ~0%.
+
+All builders share one signature: ``build(n_refs, seed) -> Trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.workloads.mixes import Component, interleave, region_base
+from repro.workloads.streams import (
+    ConflictStream,
+    HotSetStream,
+    PointerChaseStream,
+    SequentialBurstStream,
+    StridedStream,
+)
+from repro.workloads.trace import Trace
+
+#: The L1 configuration the analogs are tuned against (16KB DM, 64B lines).
+L1_SIZE = 16 * 1024
+LINE = 64
+
+BuilderFn = Callable[[int, int], Trace]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Registry entry: builder plus descriptive metadata."""
+
+    name: str
+    category: str  # "fp" or "int"
+    description: str
+    build: BuilderFn
+
+
+def _mk(name: str, components: List[Component], n_refs: int, seed: int) -> Trace:
+    return interleave(components, n_refs, seed=seed, name=name)
+
+
+def _conflict(
+    slot: int, lines: int, burst: int = 2, gap: int = 3, set_offset: int = 192
+) -> ConflictStream:
+    """A 2-array ping-pong group aligned to the L1 size (near-misses).
+
+    Placed high in the index space (``set_offset`` defaults to set 192) so
+    it does not overlap the analogs' hot working sets, which sit low: a
+    near-miss is a *two-way* ping-pong, and a third resident structure in
+    the same sets would turn it into the deep conflict the MCT (by design)
+    does not track.
+    """
+    return ConflictStream(
+        region_base(slot, set_offset=set_offset),
+        n_arrays=2,
+        alignment=L1_SIZE,
+        lines=lines,
+        burst=burst,
+        gap=gap,
+    )
+
+
+def _hot(slot: int, size: int, gap: int = 2, set_offset: int = 0) -> HotSetStream:
+    """A resident working set, placed low in the index space."""
+    return HotSetStream(region_base(slot, set_offset=set_offset), size=size, gap=gap)
+
+
+def _conflict3(
+    slot: int, lines: int = 4, burst: int = 2, gap: int = 3, set_offset: int = 236
+) -> ConflictStream:
+    """A 3-array contention group: conflict near-misses for a 2-WAY cache.
+
+    Two-array ping-pongs are invisible to a 2-way cache (both lines fit),
+    so without deeper groups the 2-way configurations of Figure 1 would
+    see almost no MCT-catchable conflicts.  Three arrays rotating through
+    a 2-way set produce exactly the 2-way near-miss (a 3-way cache would
+    hold all three); in the direct-mapped cache the same group is a
+    3-deep conflict the single-entry MCT deliberately does not track, so
+    these components stay small.
+    """
+    return ConflictStream(
+        region_base(slot, set_offset=set_offset),
+        n_arrays=3,
+        alignment=L1_SIZE,
+        lines=lines,
+        burst=burst,
+        gap=gap,
+    )
+
+
+# ----------------------------------------------------------------------
+# Floating-point analogs
+# ----------------------------------------------------------------------
+def tomcatv(n_refs: int, seed: int = 0) -> Trace:
+    """Mesh-generation analog: same-aligned arrays plus huge sweeps.
+
+    Two ping-pong conflict groups (near-misses a 2-way cache would catch)
+    and two long strided sweeps (capacity) reach the paper's signature
+    ~38% no-buffer miss rate with misses split roughly evenly between the
+    two classes.
+    """
+    return _mk(
+        "tomcatv",
+        [
+            Component(_conflict(0, lines=5, burst=2, gap=2), weight=4.0),
+            Component(_conflict(1, lines=4, burst=2, gap=2, set_offset=224), weight=2.0),
+            Component(StridedStream(region_base(2), stride=16, span=1 << 17, gap=2, jump_prob=0.6), weight=3.5),
+            Component(StridedStream(region_base(3), stride=16, span=3 << 16, gap=2, jump_prob=0.6), weight=2.5),
+            Component(_conflict3(4, lines=2, burst=4, gap=2), weight=0.5),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def swim(n_refs: int, seed: int = 0) -> Trace:
+    """Shallow-water analog: three big strided arrays, prefetch-friendly.
+
+    Mostly capacity misses with strong next-line regularity; a small
+    conflict component keeps the classifier exercised.
+    """
+    return _mk(
+        "swim",
+        [
+            Component(StridedStream(region_base(0), stride=8, span=1 << 16, gap=2, jump_prob=0.6), weight=3.0),
+            Component(StridedStream(region_base(1), stride=8, span=1 << 16, gap=2, jump_prob=0.6), weight=3.0),
+            Component(StridedStream(region_base(2), stride=8, span=3 << 15, gap=2, jump_prob=0.6), weight=2.0),
+            Component(_conflict(3, lines=5, burst=3), weight=1.2),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def su2cor(n_refs: int, seed: int = 0) -> Trace:
+    """Quantum-physics analog: strided sweeps with a moderate conflict group."""
+    return _mk(
+        "su2cor",
+        [
+            Component(StridedStream(region_base(0), stride=8, span=3 << 16, gap=3, jump_prob=0.6), weight=3.0),
+            Component(_conflict(1, lines=6, burst=3), weight=1.6),
+            Component(_hot(2, 6 * 1024, gap=2), weight=2.4),
+            Component(_conflict3(3, lines=2, burst=4), weight=0.4),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def hydro2d(n_refs: int, seed: int = 0) -> Trace:
+    """Hydrodynamics analog: stencil sweeps plus a resident working set."""
+    return _mk(
+        "hydro2d",
+        [
+            Component(StridedStream(region_base(0), stride=8, span=1 << 16, gap=2, jump_prob=0.6), weight=3.0),
+            Component(StridedStream(region_base(1), stride=8 * 130, span=1 << 17, gap=3, jump_prob=0.6), weight=0.7),
+            Component(_conflict(2, lines=5, burst=3), weight=1.0),
+            Component(_hot(3, 8 * 1024, gap=2), weight=2.5),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def mgrid(n_refs: int, seed: int = 0) -> Trace:
+    """Multigrid analog: three stride levels over one large grid (capacity)."""
+    return _mk(
+        "mgrid",
+        [
+            Component(StridedStream(region_base(0), stride=8, span=1 << 16, gap=2, jump_prob=0.6), weight=3.5),
+            Component(StridedStream(region_base(0), stride=512, span=1 << 17, gap=3, jump_prob=0.6), weight=0.6),
+            Component(_hot(1, 4 * 1024, gap=2), weight=2.0),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def applu(n_refs: int, seed: int = 0) -> Trace:
+    """LU-solver analog: blocked sweeps, a small chase, light conflict."""
+    return _mk(
+        "applu",
+        [
+            Component(StridedStream(region_base(0), stride=8, span=3 << 16, gap=3, jump_prob=0.6), weight=3.0),
+            Component(PointerChaseStream(region_base(1), n_nodes=2048, burst=4, seed=11, gap=4), weight=1.0),
+            Component(_conflict(2, lines=4, burst=3), weight=1.0),
+            Component(_hot(3, 6 * 1024, gap=2), weight=2.2),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def turb3d(n_refs: int, seed: int = 0) -> Trace:
+    """Turbulence/FFT analog: power-of-two strides that pile onto few sets.
+
+    The 4KB-stride sweep touches only a handful of sets, 8 lines deep, so
+    it produces conflict misses the MCT deliberately does *not* track
+    (deeper than near-misses — Section 3 notes a victim buffer would not
+    help them either); this is the
+    classic FFT pathology on a direct-mapped cache.
+    """
+    return _mk(
+        "turb3d",
+        [
+            Component(StridedStream(region_base(0), stride=4096, span=1 << 17, gap=2, jump_prob=0.6), weight=0.5),
+            Component(_conflict(1, lines=6, burst=2, gap=2), weight=3.0),
+            Component(StridedStream(region_base(2), stride=8, span=1 << 16, gap=3, jump_prob=0.6), weight=2.0),
+            Component(_hot(3, 4 * 1024, gap=2), weight=2.0),
+            Component(_conflict3(4, lines=2, burst=4, gap=2), weight=0.45),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def apsi(n_refs: int, seed: int = 0) -> Trace:
+    """Weather-model analog: balanced strided/hot mix, mild conflicts."""
+    return _mk(
+        "apsi",
+        [
+            Component(StridedStream(region_base(0), stride=8, span=3 << 16, gap=3, jump_prob=0.6), weight=2.4),
+            Component(_conflict(1, lines=4, burst=4), weight=0.9),
+            Component(_hot(2, 10 * 1024, gap=2), weight=2.7),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def wave5(n_refs: int, seed: int = 0) -> Trace:
+    """Particle-in-cell analog: particle chase plus field-array sweeps."""
+    return _mk(
+        "wave5",
+        [
+            Component(PointerChaseStream(region_base(0), n_nodes=2048, burst=4, seed=7, gap=3), weight=1.8),
+            Component(StridedStream(region_base(1), stride=8, span=1 << 16, gap=2, jump_prob=0.6), weight=2.2),
+            Component(_conflict(2, lines=5, burst=2), weight=1.8),
+            Component(_hot(3, 6 * 1024, gap=2), weight=2.2),
+            Component(_conflict3(4, lines=2, burst=4), weight=0.45),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Integer analogs (the "messier" C codes)
+# ----------------------------------------------------------------------
+def go(n_refs: int, seed: int = 0) -> Trace:
+    """Game-tree analog: mostly a resident board/heap, a small chase."""
+    return _mk(
+        "go",
+        [
+            Component(_hot(0, 10 * 1024, gap=4), weight=5.0),
+            Component(PointerChaseStream(region_base(1), n_nodes=1024, burst=4, seed=3, gap=5), weight=0.8),
+            Component(_conflict(2, lines=4, burst=4, gap=5), weight=0.5),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def m88ksim(n_refs: int, seed: int = 0) -> Trace:
+    """CPU-simulator analog: small hot state, very low miss rate."""
+    return _mk(
+        "m88ksim",
+        [
+            Component(_hot(0, 8 * 1024, gap=5), weight=5.0),
+            Component(StridedStream(region_base(1), stride=8, span=1 << 15, gap=5, jump_prob=0.6), weight=0.6),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def gcc(n_refs: int, seed: int = 0) -> Trace:
+    """Compiler analog: pointer-heavy IR walk over a medium heap."""
+    return _mk(
+        "gcc",
+        [
+            Component(PointerChaseStream(region_base(0), n_nodes=2048, burst=4, seed=5, gap=4), weight=1.6),
+            Component(_hot(1, 8 * 1024, gap=4), weight=3.4),
+            Component(_conflict(2, lines=4, burst=4, gap=4), weight=0.7),
+            Component(SequentialBurstStream(region_base(3), span=1 << 17, burst=6, gap=4), weight=0.9),
+            Component(_conflict3(4, lines=2, burst=4, gap=4), weight=0.4),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def compress(n_refs: int, seed: int = 0) -> Trace:
+    """Compression analog: streaming input plus a random hash table.
+
+    The 128KB hash table misses on most touches (capacity, no spatial
+    pattern); the input scan has short spatial bursts — both are exclusion
+    candidates, neither rewards a victim cache.
+    """
+    return _mk(
+        "compress",
+        [
+            Component(SequentialBurstStream(region_base(0), span=4 << 20, burst=6, gap=3), weight=2.2),
+            Component(_hot(1, 128 * 1024, gap=3), weight=1.4),
+            Component(_hot(2, 6 * 1024, gap=3), weight=2.4),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def li(n_refs: int, seed: int = 0) -> Trace:
+    """Lisp-interpreter analog: cons-cell chase across a small heap."""
+    return _mk(
+        "li",
+        [
+            Component(PointerChaseStream(region_base(0), n_nodes=3072, node_size=32, burst=3, seed=9, gap=4), weight=1.8),
+            Component(_hot(1, 6 * 1024, gap=4), weight=3.6),
+            Component(_conflict(2, lines=4, burst=4, gap=5), weight=0.6),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def ijpeg(n_refs: int, seed: int = 0) -> Trace:
+    """Image-compression analog: row sweeps with a hot coefficient table."""
+    return _mk(
+        "ijpeg",
+        [
+            Component(StridedStream(region_base(0), stride=8, span=1 << 16, gap=3, jump_prob=0.6), weight=2.2),
+            Component(StridedStream(region_base(1), stride=1024, span=1 << 17, gap=4, jump_prob=0.6), weight=0.5),
+            Component(_hot(2, 8 * 1024, gap=3), weight=3.0),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def perl(n_refs: int, seed: int = 0) -> Trace:
+    """Interpreter analog: hot dispatch state plus a modest heap chase."""
+    return _mk(
+        "perl",
+        [
+            Component(_hot(0, 12 * 1024, gap=4), weight=4.5),
+            Component(PointerChaseStream(region_base(1), n_nodes=2048, burst=4, seed=13, gap=4), weight=1.0),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+def vortex(n_refs: int, seed: int = 0) -> Trace:
+    """Object-database analog: large-heap chase with streaming logs."""
+    return _mk(
+        "vortex",
+        [
+            Component(PointerChaseStream(region_base(0), n_nodes=2048, burst=4, seed=17, gap=4), weight=1.6),
+            Component(SequentialBurstStream(region_base(1), span=1 << 17, burst=5, gap=4), weight=0.9),
+            Component(_hot(2, 8 * 1024, gap=4), weight=2.8),
+            Component(_conflict(3, lines=4, burst=3, gap=4), weight=0.8),
+        ],
+        n_refs,
+        seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+SUITE: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec("tomcatv", "fp", "mesh generation; heavy conflict+capacity, ~38% base miss rate", tomcatv),
+        BenchmarkSpec("swim", "fp", "shallow water; strided, prefetch-friendly capacity misses", swim),
+        BenchmarkSpec("su2cor", "fp", "quantum physics; strided with moderate conflicts", su2cor),
+        BenchmarkSpec("hydro2d", "fp", "hydrodynamics; stencil sweeps plus hot set", hydro2d),
+        BenchmarkSpec("mgrid", "fp", "multigrid; multi-stride capacity-dominated", mgrid),
+        BenchmarkSpec("applu", "fp", "LU solver; blocked sweeps, light conflict", applu),
+        BenchmarkSpec("turb3d", "fp", "turbulence FFT; power-of-two-stride conflicts", turb3d),
+        BenchmarkSpec("apsi", "fp", "weather; balanced mix, mild conflicts", apsi),
+        BenchmarkSpec("wave5", "fp", "particle-in-cell; chase plus field sweeps", wave5),
+        BenchmarkSpec("go", "int", "game tree; resident working set, low memory impact", go),
+        BenchmarkSpec("m88ksim", "int", "CPU simulator; tiny hot state", m88ksim),
+        BenchmarkSpec("gcc", "int", "compiler; irregular pointer-heavy heap", gcc),
+        BenchmarkSpec("compress", "int", "compression; streaming plus hash table", compress),
+        BenchmarkSpec("li", "int", "lisp interpreter; cons-cell chase", li),
+        BenchmarkSpec("ijpeg", "int", "image compression; row sweeps, hot tables", ijpeg),
+        BenchmarkSpec("perl", "int", "interpreter; hot dispatch state", perl),
+        BenchmarkSpec("vortex", "int", "object database; large-heap chase", vortex),
+    ]
+}
+
+#: Full suite — used for the classification-accuracy study (Figs 1-2),
+#: which the paper runs even on "uninteresting" benchmarks.
+ACCURACY_SUITE: List[str] = list(SUITE)
+
+#: The Section-5 subset: benchmarks with "at least a somewhat interesting
+#: mix of conflict and capacity behavior", still including irregular C
+#: codes with modest memory impact (per the paper's methodology).
+EVAL_SUITE: List[str] = [
+    "tomcatv",
+    "swim",
+    "su2cor",
+    "hydro2d",
+    "turb3d",
+    "applu",
+    "wave5",
+    "gcc",
+    "compress",
+    "li",
+    "go",
+    "vortex",
+]
+
+
+def build(name: str, n_refs: int, seed: int = 0) -> Trace:
+    """Build one analog by name."""
+    try:
+        spec = SUITE[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; known: {sorted(SUITE)}"
+        ) from None
+    return spec.build(n_refs, seed)
+
+
+def build_suite(
+    names: List[str] | None = None, n_refs: int = 100_000, seed: int = 0
+) -> Dict[str, Trace]:
+    """Build several analogs (default: the Section-5 evaluation subset)."""
+    return {name: build(name, n_refs, seed) for name in (names or EVAL_SUITE)}

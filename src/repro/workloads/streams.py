@@ -1,0 +1,254 @@
+"""Primitive address streams.
+
+Each stream is a small stateful generator with a vectorized
+``emit(n, rng) -> np.ndarray`` producing its next ``n`` byte addresses.
+SPEC95-analog workloads (:mod:`repro.workloads.spec_analogs`) are weighted
+interleavings of these primitives; each primitive exists because it
+produces one of the behaviours the paper's mechanisms key on:
+
+* :class:`StridedStream` — array sweeps; large spans give pure capacity
+  misses with strong next-line regularity (prefetch-friendly).  The
+  optional ``jump_prob`` teleports the sweep position between bursts,
+  modelling row boundaries and indirection that break next-line chains.
+* :class:`ConflictStream` — several arrays whose bases collide in the
+  cache's index bits; round-robin touches produce the conflict
+  *near-misses* (DM misses a 2-way cache would catch) that victim caches
+  and the MCT target.
+* :class:`PointerChaseStream` — a fixed random cycle through a region;
+  irregular, prefetch-hostile, capacity-ish when the region exceeds the
+  cache ("messy" integer-code behaviour).
+* :class:`HotSetStream` — a small, cache-resident working set; supplies
+  the hits that keep analog miss rates realistic.
+* :class:`SequentialBurstStream` — a streaming scan with a few accesses
+  per line and no reuse; the canonical cache-exclusion candidate
+  (short-term spatial locality only).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class AddressStream(ABC):
+    """A stateful source of byte addresses.
+
+    ``gap`` is the mean number of non-memory instructions between this
+    stream's references; the mixer copies it into the trace so that
+    memory-intense streams (small gaps) stress the timing model harder.
+    """
+
+    gap: int = 3
+
+    @abstractmethod
+    def emit(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return the next ``n`` addresses (dtype int64)."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Rewind to the initial position (streams are deterministic)."""
+
+
+@dataclass
+class StridedStream(AddressStream):
+    """Repeated sweep over ``span`` bytes with a fixed stride.
+
+    Wraps to ``base`` when a sweep completes, modelling the outer loop of a
+    numeric kernel re-walking the same array.
+    """
+
+    base: int
+    stride: int = 8
+    span: int = 1 << 20
+    gap: int = 3
+    jump_prob: float = 0.0
+    _pos: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        if self.span < self.stride:
+            raise ValueError("span must cover at least one stride")
+        if not 0.0 <= self.jump_prob <= 1.0:
+            raise ValueError("jump_prob must be in [0, 1]")
+
+    def emit(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        steps = self.span // self.stride
+        if self.jump_prob and rng.random() < self.jump_prob:
+            # Row boundary / loop restart: teleport to a random position.
+            # Real 2-D sweeps are only piecewise line-sequential, which is
+            # what makes a next-line prefetcher waste so many prefetches
+            # (paper §5.2); a perfectly linear stream would overstate it.
+            self._pos = int(rng.integers(0, steps))
+        idx = (self._pos + np.arange(n, dtype=np.int64)) % steps
+        self._pos = (self._pos + n) % steps
+        return self.base + idx * self.stride
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+@dataclass
+class ConflictStream(AddressStream):
+    """Round-robin over arrays that collide in the index bits.
+
+    ``n_arrays`` bases are spaced exactly ``alignment`` bytes apart (set
+    ``alignment`` to the cache size to force every array onto the same
+    sets).  The stream makes *line visits* of ``burst`` word accesses each,
+    interleaving arrays at line-visit granularity over a window of
+    ``lines`` cache lines — so in a direct-mapped cache each visit evicts
+    the other array's line from the same set, and the next visit to that
+    line is a textbook conflict near-miss (a 2-way cache would have hit).
+
+    Keep ``lines * n_arrays`` well under the cache's line count so the
+    reuse distance stays short enough for Hill's classic definition to
+    also call these misses conflicts.
+
+    The group's lines are spaced ``line_stride`` cache lines apart and
+    visited in a shuffled order: a heavily-contended set is *not* part of
+    any line-sequential stream, so a next-line prefetch issued on one of
+    these conflict misses fetches a line the program never touches —
+    Figure 4's premise that conflict misses make poor prefetch triggers.
+    """
+
+    base: int
+    n_arrays: int = 2
+    alignment: int = 16 * 1024
+    lines: int = 16
+    burst: int = 2
+    line_size: int = 64
+    shuffle_lines: bool = True
+    line_stride: int = 3
+    gap: int = 4
+    _pos: int = field(default=0, repr=False)
+    _order: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n_arrays < 2:
+            raise ValueError("a conflict stream needs at least two arrays")
+        if self.lines < 1:
+            raise ValueError("lines must be >= 1")
+        if not 1 <= self.burst <= self.line_size // 8:
+            raise ValueError("burst must be in [1, words per line]")
+        if self.line_stride < 1:
+            raise ValueError("line_stride must be >= 1")
+        if self.shuffle_lines:
+            # Visit lines in a fixed pseudo-random order.  Two structures
+            # fighting over cache sets are not line-sequential in practice,
+            # and a sequential order would make a next-line prefetcher
+            # *good* at conflict misses — the opposite of §5.2's premise.
+            own = np.random.Generator(np.random.PCG64(self.base & 0xFFFF_FFFF))
+            order = own.permutation(self.lines).astype(np.int64)
+        else:
+            order = np.arange(self.lines, dtype=np.int64)
+        object.__setattr__(self, "_order", order)
+
+    def emit(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        i = self._pos + np.arange(n, dtype=np.int64)
+        self._pos += n
+        visit = i // self.burst
+        word = i % self.burst
+        array_id = visit % self.n_arrays
+        line_id = self._order[(visit // self.n_arrays) % self.lines]
+        return (
+            self.base
+            + array_id * self.alignment
+            + line_id * self.line_stride * self.line_size
+            + word * 8
+        )
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+@dataclass
+class PointerChaseStream(AddressStream):
+    """A fixed pseudo-random Hamiltonian cycle through ``n_nodes`` nodes.
+
+    The node order is drawn once from ``seed`` so the stream is
+    reproducible and genuinely loops (revisits create capacity misses when
+    ``n_nodes * node_size`` exceeds the cache).
+    """
+
+    base: int
+    n_nodes: int = 4096
+    node_size: int = 64
+    burst: int = 3
+    seed: int = 1
+    gap: int = 6
+    _order: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _pos: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if not 1 <= self.burst <= max(self.node_size // 8, 1):
+            raise ValueError("burst must be in [1, words per node]")
+        own_rng = np.random.Generator(np.random.PCG64(self.seed))
+        self._order = own_rng.permutation(self.n_nodes).astype(np.int64)
+
+    def emit(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        i = self._pos + np.arange(n, dtype=np.int64)
+        self._pos += n
+        visit = (i // self.burst) % self.n_nodes
+        word = i % self.burst
+        return self.base + self._order[visit] * self.node_size + word * 8
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+@dataclass
+class HotSetStream(AddressStream):
+    """Uniform random touches within a small resident working set."""
+
+    base: int
+    size: int = 4 * 1024
+    word: int = 8
+    gap: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size < self.word:
+            raise ValueError("size must cover at least one word")
+
+    def emit(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        words = self.size // self.word
+        return self.base + rng.integers(0, words, size=n, dtype=np.int64) * self.word
+
+    def reset(self) -> None:
+        pass  # stateless apart from the shared rng
+
+
+@dataclass
+class SequentialBurstStream(AddressStream):
+    """Streaming scan: ``burst`` word accesses per line, then move on.
+
+    Never revisits a line within a sweep of ``span`` bytes, so every line
+    costs one (capacity/compulsory) miss followed by ``burst - 1`` hits —
+    exactly the short-term-spatial-locality-only pattern Johnson & Hwu's
+    MAT and the paper's capacity-exclusion policy are designed to catch.
+    """
+
+    base: int
+    span: int = 8 << 20
+    burst: int = 4
+    line_size: int = 64
+    gap: int = 3
+    _pos: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.burst <= self.line_size // 8:
+            raise ValueError("burst must be in [1, words per line]")
+
+    def emit(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        lines = self.span // self.line_size
+        i = self._pos + np.arange(n, dtype=np.int64)
+        self._pos += n
+        line_id = (i // self.burst) % lines
+        word_id = i % self.burst
+        return self.base + line_id * self.line_size + word_id * 8
+
+    def reset(self) -> None:
+        self._pos = 0

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def dm16k() -> CacheGeometry:
+    """The paper's L1: 16KB direct-mapped, 64-byte lines."""
+    return CacheGeometry(size=16 * 1024, assoc=1, line_size=64)
+
+
+@pytest.fixture
+def w2_16k() -> CacheGeometry:
+    return CacheGeometry(size=16 * 1024, assoc=2, line_size=64)
+
+
+@pytest.fixture
+def tiny() -> CacheGeometry:
+    """A 4-set direct-mapped cache — small enough to reason about by hand."""
+    return CacheGeometry(size=256, assoc=1, line_size=64)
+
+
+@pytest.fixture
+def tiny2way() -> CacheGeometry:
+    return CacheGeometry(size=512, assoc=2, line_size=64)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(12345))
+
+
+def make_trace(addresses, name="t") -> Trace:
+    return Trace(list(addresses), name=name)
+
+
+@pytest.fixture
+def ping_pong(dm16k) -> Trace:
+    """Two lines mapping to the same set, alternating: pure conflict misses."""
+    a = 0x100000
+    b = a + dm16k.size
+    return make_trace([a, b] * 50, name="ping-pong")

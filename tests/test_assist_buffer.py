@@ -1,0 +1,122 @@
+"""Unit tests for the assist buffer (victim/prefetch/bypass/AMB store)."""
+
+import pytest
+
+from repro.buffers.assist import AssistBuffer, BufferEntry
+from repro.cache.line import BufferRole
+
+
+def entry(block, role=BufferRole.VICTIM, **kw):
+    return BufferEntry(block=block, role=role, **kw)
+
+
+class TestBasics:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            AssistBuffer(0)
+
+    def test_probe_miss_counts(self):
+        b = AssistBuffer(4)
+        assert b.probe(1) is None
+        assert b.stats.probes == 1
+
+    def test_insert_then_probe(self):
+        b = AssistBuffer(4)
+        b.insert(entry(1))
+        got = b.probe(1)
+        assert got is not None and got.block == 1
+
+    def test_capacity_evicts_lru(self):
+        b = AssistBuffer(2)
+        b.insert(entry(1))
+        b.insert(entry(2))
+        evicted = b.insert(entry(3))
+        assert evicted is not None and evicted.block == 1
+        assert 1 not in b
+        assert b.stats.evictions == 1
+
+    def test_touch_refreshes_recency(self):
+        b = AssistBuffer(2)
+        b.insert(entry(1))
+        b.insert(entry(2))
+        b.touch(1)
+        evicted = b.insert(entry(3))
+        assert evicted.block == 2
+
+    def test_probe_does_not_refresh(self):
+        b = AssistBuffer(2)
+        b.insert(entry(1))
+        b.insert(entry(2))
+        b.probe(1)
+        evicted = b.insert(entry(3))
+        assert evicted.block == 1
+
+    def test_remove_from_middle(self):
+        """'a FIFO from which entries can be taken out of the middle'."""
+        b = AssistBuffer(3)
+        for blk in (1, 2, 3):
+            b.insert(entry(blk))
+        got = b.remove(2)
+        assert got.block == 2
+        assert b.blocks() == [1, 3]
+        assert b.remove(2) is None
+
+    def test_reinsert_replaces_in_place(self):
+        b = AssistBuffer(2)
+        b.insert(entry(1, role=BufferRole.PREFETCH))
+        b.insert(entry(2))
+        evicted = b.insert(entry(1, role=BufferRole.VICTIM))
+        assert evicted is None  # no capacity eviction
+        assert b.peek(1).role is BufferRole.VICTIM
+        # 1 is now MRU
+        assert b.insert(entry(3)).block == 2
+
+    def test_occupancy_and_flush(self):
+        b = AssistBuffer(4)
+        b.insert(entry(1))
+        b.insert(entry(2))
+        assert b.occupancy() == len(b) == 2
+        b.flush()
+        assert b.occupancy() == 0
+
+
+class TestEvictionHook:
+    def test_hook_fires_on_capacity_eviction_only(self):
+        seen = []
+        b = AssistBuffer(1, on_evict=seen.append)
+        b.insert(entry(1))
+        b.remove(1)
+        assert seen == []
+        b.insert(entry(2))
+        b.insert(entry(3))
+        assert [e.block for e in seen] == [2]
+
+    def test_wasted_prefetch_detection_pattern(self):
+        """The memory system counts unused prefetches via this hook."""
+        wasted = []
+
+        def hook(e):
+            if e.role is BufferRole.PREFETCH and not e.used:
+                wasted.append(e.block)
+
+        b = AssistBuffer(1, on_evict=hook)
+        b.insert(entry(1, role=BufferRole.PREFETCH))
+        b.insert(entry(2, role=BufferRole.PREFETCH, used=True))
+        b.insert(entry(3))
+        assert wasted == [1]
+
+
+class TestRoles:
+    def test_roles_preserved(self):
+        b = AssistBuffer(4)
+        b.insert(entry(1, role=BufferRole.VICTIM))
+        b.insert(entry(2, role=BufferRole.PREFETCH, ready_time=55.0))
+        b.insert(entry(3, role=BufferRole.EXCLUSION, dirty=True))
+        assert b.peek(1).role is BufferRole.VICTIM
+        assert b.peek(2).ready_time == 55.0
+        assert b.peek(3).dirty
+
+    def test_conflict_bit_preserved(self):
+        b = AssistBuffer(4)
+        b.insert(entry(9, conflict_bit=True))
+        assert b.peek(9).conflict_bit

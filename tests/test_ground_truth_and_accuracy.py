@@ -1,0 +1,99 @@
+"""Tests for the Hill-definition oracle and the accuracy harness."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.accuracy import measure_accuracy, sweep_tag_bits
+from repro.core.classification import MissClass
+from repro.core.ground_truth import GroundTruthClassifier
+
+
+class TestGroundTruth:
+    def test_first_touch_is_compulsory(self, tiny):
+        gt = GroundTruthClassifier(tiny)
+        assert gt.classify_miss(0x1000) is MissClass.COMPULSORY
+        gt.observe(0x1000)
+
+    def test_conflict_when_fa_would_hit(self, tiny):
+        """Ping-pong in one set of a 4-line cache: FA keeps both lines."""
+        gt = GroundTruthClassifier(tiny)
+        a = 0x1000
+        b = a + tiny.size
+        for addr in (a, b):
+            gt.classify_miss(addr)
+            gt.observe(addr)
+        # Second round: both lines are FA-resident -> conflict.
+        assert gt.classify_miss(a) is MissClass.CONFLICT
+        gt.observe(a)
+        assert gt.classify_miss(b) is MissClass.CONFLICT
+
+    def test_capacity_when_fa_would_miss(self, tiny):
+        """A sweep longer than the whole cache: revisits are capacity."""
+        gt = GroundTruthClassifier(tiny)
+        lines = tiny.num_lines
+        sweep = [0x1000 + i * tiny.line_size for i in range(lines * 3)]
+        for addr in sweep:
+            gt.classify_miss(addr)
+            gt.observe(addr)
+        assert gt.classify_miss(sweep[0]) is MissClass.CAPACITY
+
+    def test_counters(self, tiny):
+        gt = GroundTruthClassifier(tiny)
+        gt.classify_miss(0x1000)
+        gt.observe(0x1000)
+        assert gt.miss_breakdown() == {
+            "compulsory": 1,
+            "conflict": 0,
+            "capacity": 0,
+        }
+        assert gt.total_classified == 1
+
+
+class TestAccuracyHarness:
+    def test_pure_ping_pong_is_perfectly_classified(self, dm16k, ping_pong):
+        res = measure_accuracy(ping_pong.addresses, dm16k)
+        # After the two compulsory misses, every miss is a true conflict
+        # and the MCT catches every one of them.
+        assert res.conflict_accuracy == 100.0
+        assert res.classification.true_conflicts == len(ping_pong) - 2
+        assert res.compulsory_misses == 2
+
+    def test_pure_streaming_is_capacity(self, dm16k):
+        addrs = [0x100000 + i * 64 for i in range(2000)] * 2
+        res = measure_accuracy(addrs, dm16k)
+        assert res.classification.true_conflicts == 0
+        assert res.capacity_accuracy == 100.0
+        assert res.miss_rate == 100.0
+
+    def test_hits_are_not_classified(self, dm16k):
+        addrs = [0x1000, 0x1000, 0x1000]
+        res = measure_accuracy(addrs, dm16k)
+        assert res.classification.total == 1
+        assert res.cache.hits == 2
+
+    def test_conflict_fraction(self, dm16k, ping_pong):
+        res = measure_accuracy(ping_pong.addresses, dm16k)
+        assert res.conflict_fraction > 90
+
+    def test_two_way_cache_accuracy(self, w2_16k):
+        """Three-way ping-pong in a 2-way cache: conflicts identified."""
+        a = 0x100000
+        addrs = [a, a + w2_16k.size, a + 2 * w2_16k.size] * 30
+        res = measure_accuracy(addrs, w2_16k)
+        assert res.conflict_accuracy == 100.0
+
+    def test_sweep_tag_bits_shapes(self, dm16k):
+        addrs = ([0x100000, 0x100000 + dm16k.size] * 30
+                 + [0x200000 + i * 64 for i in range(600)])
+        results = sweep_tag_bits(addrs, dm16k, [1, 8, None])
+        assert len(results) == 3
+        # Fewer bits can only shift classifications toward conflict:
+        # capacity accuracy must be monotonically non-decreasing in bits.
+        caps = [r.capacity_accuracy for r in results]
+        assert caps[0] <= caps[1] <= caps[2]
+        # Conflict accuracy is never hurt by fewer bits.
+        confs = [r.conflict_accuracy for r in results]
+        assert confs[0] >= confs[2]
+
+    def test_deterministic(self, dm16k, ping_pong):
+        r1 = measure_accuracy(ping_pong.addresses, dm16k)
+        r2 = measure_accuracy(ping_pong.addresses, dm16k)
+        assert r1.classification == r2.classification

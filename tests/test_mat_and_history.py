@@ -1,0 +1,132 @@
+"""Unit tests for the MAT (Johnson & Hwu) and miss-history tables."""
+
+import pytest
+
+from repro.buffers.history import MissHistoryTable
+from repro.buffers.mat import MemoryAccessTable
+from repro.core.classification import MissClass
+
+
+class TestMAT:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            MemoryAccessTable(entries=1000)
+        with pytest.raises(ValueError):
+            MemoryAccessTable(region_size=1000)
+
+    def test_counts_accumulate_per_region(self):
+        mat = MemoryAccessTable()
+        for _ in range(5):
+            mat.record_access(0x1000)
+        assert mat.count_for(0x1000) == 5
+        assert mat.count_for(0x1000 + 512) == 5  # same 1KB region
+        assert mat.count_for(0x1000 + 1024) == 0  # next region
+
+    def test_counter_saturates(self):
+        mat = MemoryAccessTable(max_count=3)
+        for _ in range(10):
+            mat.record_access(0)
+        assert mat.count_for(0) == 3
+
+    def test_replacement_inherits_half(self):
+        mat = MemoryAccessTable(entries=4, region_size=1024)
+        for _ in range(8):
+            mat.record_access(0)          # region 0, slot 0
+        conflicting = 4 * 1024            # region 4 -> same slot 0
+        mat.record_access(conflicting)
+        assert mat.count_for(conflicting) == 8 // 2 + 1
+        assert mat.count_for(0) == 0      # tag replaced
+        assert mat.replacements == 1
+
+    def test_bypass_decision(self):
+        mat = MemoryAccessTable()
+        hot, cold = 0x10000, 0x20000
+        for _ in range(10):
+            mat.record_access(hot)
+        mat.record_access(cold)
+        assert mat.should_bypass(cold, hot)       # cold line vs hot victim
+        assert not mat.should_bypass(hot, cold)   # hot line vs cold victim
+
+    def test_no_bypass_into_empty_way(self):
+        mat = MemoryAccessTable()
+        assert not mat.should_bypass(0x1000, None)
+
+    def test_equal_counts_do_not_bypass(self):
+        mat = MemoryAccessTable()
+        mat.record_access(0x10000)
+        mat.record_access(0x20000)
+        assert not mat.should_bypass(0x10000, 0x20000)
+
+    def test_reset(self):
+        mat = MemoryAccessTable()
+        mat.record_access(0x1000)
+        mat.reset()
+        assert mat.count_for(0x1000) == 0
+        assert mat.accesses == 0
+
+
+class TestHistoryTable:
+    def test_rejects_compulsory_tracking(self):
+        with pytest.raises(ValueError):
+            MissHistoryTable(MissClass.COMPULSORY)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MissHistoryTable(MissClass.CAPACITY, threshold=5, max_count=3)
+
+    def test_flags_after_threshold(self):
+        h = MissHistoryTable(MissClass.CAPACITY, threshold=2)
+        h.record_miss(0x1000, MissClass.CAPACITY)
+        assert not h.is_flagged(0x1000)
+        h.record_miss(0x1000, MissClass.CAPACITY)
+        assert h.is_flagged(0x1000)
+
+    def test_compulsory_counts_as_capacity(self):
+        h = MissHistoryTable(MissClass.CAPACITY, threshold=2)
+        h.record_miss(0x1000, MissClass.COMPULSORY)
+        h.record_miss(0x1000, MissClass.COMPULSORY)
+        assert h.is_flagged(0x1000)
+
+    def test_opposite_class_decrements(self):
+        h = MissHistoryTable(MissClass.CAPACITY, threshold=2)
+        for _ in range(3):
+            h.record_miss(0x1000, MissClass.CAPACITY)
+        h.record_miss(0x1000, MissClass.CONFLICT)
+        h.record_miss(0x1000, MissClass.CONFLICT)
+        assert not h.is_flagged(0x1000)
+
+    def test_conflict_tracking_variant(self):
+        h = MissHistoryTable(MissClass.CONFLICT, threshold=2)
+        h.record_miss(0x1000, MissClass.CONFLICT)
+        h.record_miss(0x1000, MissClass.CONFLICT)
+        assert h.is_flagged(0x1000)
+        h2 = MissHistoryTable(MissClass.CONFLICT, threshold=2)
+        h2.record_miss(0x1000, MissClass.CAPACITY)
+        assert not h2.is_flagged(0x1000)
+
+    def test_regions_are_independent(self):
+        h = MissHistoryTable(MissClass.CAPACITY, threshold=1)
+        h.record_miss(0x1000, MissClass.CAPACITY)
+        assert h.is_flagged(0x1000)
+        assert not h.is_flagged(0x1000 + 1024)
+
+    def test_tag_replacement_resets_count(self):
+        h = MissHistoryTable(MissClass.CAPACITY, entries=4, threshold=1)
+        h.record_miss(0, MissClass.CAPACITY)
+        assert h.is_flagged(0)
+        # Region 4 maps to the same slot in a 4-entry table.
+        h.record_miss(4 * 1024, MissClass.CAPACITY)
+        assert not h.is_flagged(0)
+
+    def test_saturation(self):
+        h = MissHistoryTable(MissClass.CAPACITY, max_count=3, threshold=2)
+        for _ in range(10):
+            h.record_miss(0x1000, MissClass.CAPACITY)
+        h.record_miss(0x1000, MissClass.CONFLICT)
+        assert h.is_flagged(0x1000)  # 3 -> 2, still at threshold
+
+    def test_reset(self):
+        h = MissHistoryTable(MissClass.CAPACITY, threshold=1)
+        h.record_miss(0x1000, MissClass.CAPACITY)
+        h.reset()
+        assert not h.is_flagged(0x1000)

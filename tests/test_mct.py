@@ -1,0 +1,142 @@
+"""Unit tests for the Miss Classification Table."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.line import EvictedLine
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.classification import MissClass
+from repro.core.mct import MissClassificationTable
+
+
+class TestClassification:
+    def test_cold_table_says_capacity(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        assert mct.classify(0x1000) is MissClass.CAPACITY
+
+    def test_matching_eviction_says_conflict(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        a = 0x10000
+        mct.record_eviction(dm16k.set_index(a), dm16k.tag(a))
+        assert mct.classify(a) is MissClass.CONFLICT
+
+    def test_non_matching_tag_says_capacity(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        a = 0x10000
+        b = a + dm16k.size  # same set, different tag
+        mct.record_eviction(dm16k.set_index(a), dm16k.tag(a))
+        assert mct.classify(b) is MissClass.CAPACITY
+
+    def test_only_most_recent_eviction_kept(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        a = 0x10000
+        b = a + dm16k.size
+        idx = dm16k.set_index(a)
+        mct.record_eviction(idx, dm16k.tag(a))
+        mct.record_eviction(idx, dm16k.tag(b))
+        assert mct.classify(a) is MissClass.CAPACITY
+        assert mct.classify(b) is MissClass.CONFLICT
+
+    def test_entries_are_per_set(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        a = 0x10000
+        other_set = a + dm16k.line_size
+        mct.record_eviction(dm16k.set_index(a), dm16k.tag(a))
+        assert mct.classify(other_set) is MissClass.CAPACITY
+
+    def test_install_marks_future_conflict(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        addr = 0x4440
+        mct.install(addr)
+        assert mct.classify(addr) is MissClass.CONFLICT
+
+    def test_clear(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        mct.install(0x1000)
+        mct.clear()
+        assert mct.classify(0x1000) is MissClass.CAPACITY
+
+    def test_counts(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        mct.install(0x1000)
+        mct.classify(0x1000)
+        mct.classify(0x2000)
+        assert mct.classifications == 2
+        assert mct.conflict_hits == 1
+
+
+class TestPartialTags:
+    def test_full_behaviour_with_enough_bits(self, dm16k):
+        full = MissClassificationTable(dm16k)
+        wide = MissClassificationTable(dm16k, tag_bits=30)
+        a = 0x10000
+        for m in (full, wide):
+            m.record_eviction(dm16k.set_index(a), dm16k.tag(a))
+        assert full.classify(a) == wide.classify(a) == MissClass.CONFLICT
+
+    def test_few_bits_cause_false_conflicts(self, dm16k):
+        mct = MissClassificationTable(dm16k, tag_bits=1)
+        a = 0x10000                      # tag 4
+        b = a + 2 * dm16k.size           # tag 6 — same low bit (0)
+        assert dm16k.tag(a) & 1 == dm16k.tag(b) & 1
+        mct.record_eviction(dm16k.set_index(a), dm16k.tag(a))
+        assert mct.classify(b) is MissClass.CONFLICT  # false match
+
+    def test_distinct_low_bits_still_distinguished(self, dm16k):
+        mct = MissClassificationTable(dm16k, tag_bits=1)
+        a = 0x10000                      # tag 4 (even)
+        b = a + dm16k.size               # tag 5 (odd)
+        mct.record_eviction(dm16k.set_index(a), dm16k.tag(a))
+        assert mct.classify(b) is MissClass.CAPACITY
+
+    def test_rejects_zero_bits(self, dm16k):
+        with pytest.raises(ValueError):
+            MissClassificationTable(dm16k, tag_bits=0)
+
+
+class TestStorage:
+    def test_paper_storage_figure(self):
+        """§3: 10 bits/entry on a 64KB DM cache = 1.25KB."""
+        g = CacheGeometry(size=64 * 1024, assoc=1, line_size=64)
+        mct = MissClassificationTable(g, tag_bits=10)
+        assert mct.storage_bits(valid_bit=False) == 10 * 1024  # 1.25 KB
+        assert mct.storage_bits(valid_bit=False) / 8 / 1024 == 1.25
+
+    def test_two_way_has_half_the_entries(self):
+        g1 = CacheGeometry(size=64 * 1024, assoc=1, line_size=64)
+        g2 = CacheGeometry(size=64 * 1024, assoc=2, line_size=64)
+        b1 = MissClassificationTable(g1, tag_bits=10).storage_bits(valid_bit=False)
+        b2 = MissClassificationTable(g2, tag_bits=10).storage_bits(valid_bit=False)
+        assert b2 == b1 // 2
+
+    def test_full_tag_storage_positive(self, dm16k):
+        assert MissClassificationTable(dm16k).storage_bits() > 0
+
+
+class TestCacheIntegration:
+    def test_on_evict_hook_wiring(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        cache = SetAssociativeCache(dm16k, on_evict=mct.on_evict)
+        a = 0x10000
+        b = a + dm16k.size
+        cache.access(a)
+        cache.access(b)  # evicts a -> MCT
+        assert mct.classify(a) is MissClass.CONFLICT
+        assert mct.classify(b) is MissClass.CAPACITY
+
+    def test_ping_pong_always_conflict_after_warm(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        cache = SetAssociativeCache(dm16k, on_evict=mct.on_evict)
+        a = 0x10000
+        b = a + dm16k.size
+        cache.access(a)
+        cache.access(b)
+        for addr in (a, b) * 10:
+            assert mct.classify(addr) is MissClass.CONFLICT
+            cache.access(addr)
+
+    def test_adapter_accepts_evicted_line(self, dm16k):
+        mct = MissClassificationTable(dm16k)
+        a = 0x10000
+        mct.on_evict(dm16k.set_index(a), EvictedLine(tag=dm16k.tag(a)))
+        assert mct.classify_is_conflict(a)

@@ -1,0 +1,129 @@
+"""Regression tests pinning every figure's policy presets to the paper.
+
+A silent change to a preset (wrong filter, wrong buffer size, a swap
+where the paper says no-swap) would skew a whole figure while every
+mechanism test stayed green; these tests pin the presets to the paper's
+text.
+"""
+
+from repro.buffers import amb, exclusion, prefetch, victim
+from repro.core.filters import ConflictFilter
+from repro.system.policies import ExclusionMode
+
+
+class TestVictimPresets:
+    def test_or_conflict_everywhere(self):
+        """§5.1: 'Each of these policies use the or-conflict algorithm'."""
+        assert victim.VICTIM_FILTER is ConflictFilter.OR_CONFLICT
+        assert victim.filter_swaps().victim_no_swap_filter is ConflictFilter.OR_CONFLICT
+        assert victim.filter_fills().victim_fill_filter is ConflictFilter.OR_CONFLICT
+
+    def test_traditional_is_unfiltered(self):
+        cfg = victim.traditional()
+        assert cfg.victim_fills
+        assert cfg.victim_swap
+        assert cfg.victim_fill_filter is None
+        assert cfg.victim_no_swap_filter is None
+        assert not cfg.prefetch and cfg.exclusion is None
+
+    def test_eight_entries_default(self):
+        """§4: eight fully-associative entries."""
+        for cfg in victim.figure3_policies():
+            assert cfg.buffer_entries == 8
+
+    def test_table1_order(self):
+        names = [p.name for p in victim.table1_policies()]
+        assert names == [
+            "no V cache", "V cache", "filter swaps", "filter fills",
+            "filter both",
+        ]
+
+
+class TestPrefetchPresets:
+    def test_figure4_bar_order(self):
+        """Figure 4's bars: none, in, out, and, or."""
+        filters = [p.prefetch_filter for p in prefetch.figure4_policies()]
+        assert filters == [
+            None,
+            ConflictFilter.IN_CONFLICT,
+            ConflictFilter.OUT_CONFLICT,
+            ConflictFilter.AND_CONFLICT,
+            ConflictFilter.OR_CONFLICT,
+        ]
+
+    def test_prefetchers_do_nothing_else(self):
+        for cfg in prefetch.figure4_policies():
+            assert cfg.prefetch
+            assert not cfg.victim_fills
+            assert cfg.exclusion is None
+
+
+class TestExclusionPresets:
+    def test_sixteen_entry_buffer(self):
+        """§5.3: 'we use the slightly larger structure here' (16 entries,
+        because the MAT 'do[es] poorly with an 8-entry buffer')."""
+        assert exclusion.EXCLUSION_BUFFER_ENTRIES == 16
+        for cfg in exclusion.figure5_policies():
+            if cfg.exclusion is not None:  # skip the no-buffer baseline
+                assert cfg.buffer_entries == 16
+
+    def test_figure5_bar_order(self):
+        modes = [p.exclusion for p in exclusion.figure5_policies()]
+        assert modes == [
+            None,  # the no-buffer baseline carries no exclusion mode
+            ExclusionMode.MAT,
+            ExclusionMode.CONFLICT,
+            ExclusionMode.CONFLICT_HISTORY,
+            ExclusionMode.CAPACITY,
+            ExclusionMode.CAPACITY_HISTORY,
+        ]
+
+    def test_install_on_bypass_defaults_on(self):
+        """§5.3's MCT tweak is part of every MCT-based exclusion policy."""
+        cfg = exclusion.exclusion(ExclusionMode.CAPACITY)
+        assert cfg.mct_install_on_bypass
+
+
+class TestAMBPresets:
+    def test_out_conflict_for_all_multis(self):
+        """§5.5: 'All multiple-policy results shown use the out-conflict
+        filter.'"""
+        assert amb.AMB_FILTER is ConflictFilter.OUT_CONFLICT
+        for cfg in (amb.vict_pref(), amb.vict_excl(), amb.vic_pre_exc()):
+            if cfg.victim_fills:
+                assert cfg.victim_fill_filter is ConflictFilter.OUT_CONFLICT
+            if cfg.prefetch:
+                assert cfg.prefetch_filter is ConflictFilter.OUT_CONFLICT
+
+    def test_vict_pref_victim_caches_without_swaps(self):
+        """§5.5: 'VictPref victim caches (but doesn't swap) conflict
+        misses and prefetches capacity misses.'"""
+        cfg = amb.vict_pref()
+        assert cfg.victim_fills and not cfg.victim_swap
+        assert cfg.prefetch
+        assert cfg.exclusion is None
+
+    def test_pref_excl_has_nothing_for_conflicts(self):
+        """§5.5: 'PrefExcl does not do anything with conflict misses.'"""
+        cfg = amb.pref_excl()
+        assert not cfg.victim_fills
+        assert cfg.prefetch and cfg.exclusion is ExclusionMode.CAPACITY
+
+    def test_vic_pre_exc_does_everything(self):
+        cfg = amb.vic_pre_exc()
+        assert cfg.victim_fills and cfg.prefetch
+        assert cfg.exclusion is ExclusionMode.CAPACITY
+
+    def test_figure6_has_seven_policies(self):
+        names = [p.name for p in amb.figure6_policies()]
+        assert names == [
+            "Vict", "Pref", "Excl", "VictPref", "PrefExcl", "VictExcl",
+            "VicPreExc",
+        ]
+        assert set(amb.SINGLE_POLICY_NAMES) | set(amb.COMBINED_POLICY_NAMES) == set(names)
+
+    def test_singles_use_single_mechanisms(self):
+        assert amb.vict().victim_fills and not amb.vict().prefetch
+        assert amb.pref().prefetch and not amb.pref().victim_fills
+        assert amb.excl().exclusion is ExclusionMode.CAPACITY
+        assert not amb.excl().prefetch and not amb.excl().victim_fills

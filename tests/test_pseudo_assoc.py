@@ -1,0 +1,151 @@
+"""Unit tests for the pseudo-associative (column-associative) cache."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.pseudo_assoc import (
+    PacHit,
+    PacVariant,
+    PseudoAssociativeCache,
+)
+
+
+@pytest.fixture
+def geo():
+    return CacheGeometry(size=16 * 1024, assoc=1, line_size=64)
+
+
+def pac(geo, variant=PacVariant.CLASSIC):
+    return PseudoAssociativeCache(geo, variant)
+
+
+class TestConstruction:
+    def test_rejects_associative_geometry(self):
+        g = CacheGeometry(size=16 * 1024, assoc=2, line_size=64)
+        with pytest.raises(ValueError):
+            PseudoAssociativeCache(g)
+
+    def test_secondary_index_flips_top_bit(self, geo):
+        c = pac(geo)
+        assert c.secondary_index(0) == geo.num_sets // 2
+        pi = c.primary_index(0x1040)
+        assert c.secondary_index(0x1040) == pi ^ (geo.num_sets // 2)
+
+
+class TestHitPaths:
+    def test_primary_hit(self, geo):
+        c = pac(geo)
+        c.access(0x1000)
+        out = c.access(0x1000)
+        assert out.kind is PacHit.PRIMARY
+        assert c.primary_hits == 1
+
+    def test_conflict_pair_secondary_hit_and_swap(self, geo):
+        c = pac(geo)
+        a = 0x100000
+        b = a + geo.size  # same primary slot
+        c.access(a)       # a in primary
+        c.access(b)       # a demoted to secondary, b in primary
+        out = c.access(a)
+        assert out.kind is PacHit.SECONDARY
+        assert out.swapped
+        # After the swap a is back in primary.
+        assert c.probe(a) is PacHit.PRIMARY
+        assert c.probe(b) is PacHit.SECONDARY
+
+    def test_ping_pong_never_misses_after_warmup(self, geo):
+        c = pac(geo)
+        a = 0x100000
+        b = a + geo.size
+        c.access(a)
+        c.access(b)
+        for addr in (a, b) * 20:
+            assert c.access(addr).kind is not PacHit.MISS
+
+    def test_probe_is_non_mutating(self, geo):
+        c = pac(geo)
+        assert c.probe(0x1000) is PacHit.MISS
+        assert c.stats.accesses == 0
+
+
+class TestClassicEviction:
+    def test_demotion_evicts_rehash_occupant(self, geo):
+        c = pac(geo)
+        a = 0x100000
+        b = a + geo.size
+        d = a + 2 * geo.size
+        c.access(a)   # a primary
+        c.access(b)   # a -> secondary, b primary
+        out = c.access(d)  # demotes b, evicts a (the rehash occupant)
+        assert out.kind is PacHit.MISS
+        assert out.evicted_block == geo.block_number(a)
+        assert c.probe(b) is PacHit.SECONDARY
+        assert c.probe(d) is PacHit.PRIMARY
+
+
+class TestMCTVariant:
+    def test_conflict_bit_from_per_slot_mct(self, geo):
+        c = pac(geo, PacVariant.MCT)
+        a = 0x100000
+        b = a + geo.size
+        d = a + 2 * geo.size
+        c.access(a)
+        c.access(b)
+        c.access(d)   # evicts a from its slot; MCT[slot] = a
+        c.access(b)   # secondary hit keeps things alive
+        out = c.access(a)  # a matches MCT at its primary -> conflict bit
+        assert out.kind is PacHit.MISS
+
+    def test_conflict_bit_reprieve_beats_classic_on_go(self, geo):
+        """§5.4's claim, checked on the analog where it is strongest: the
+        'go' analog's hot working set straddles slot pairs, and the classic
+        demotion rule keeps killing resident hot lines; the conflict-bit
+        reprieve recovers them (measured: ~18% -> ~7% miss rate)."""
+        from repro.workloads.spec_analogs import build
+
+        t = build("go", 20_000)
+        results = {}
+        for variant in (PacVariant.CLASSIC, PacVariant.MCT):
+            c = pac(geo, variant)
+            for addr in t.addresses:
+                c.access(int(addr))
+            results[variant] = c.stats.miss_rate
+        assert results[PacVariant.MCT] < results[PacVariant.CLASSIC]
+
+    def test_lru_variant_matches_two_way_content(self, geo):
+        """PAC-LRU must hit/miss identically to a 2-way cache over the
+        paired sets (same capacity, same replacement)."""
+        import random
+
+        from repro.cache.fully_assoc import FullyAssociativeLRU
+
+        c = pac(geo, PacVariant.LRU)
+        # Model each slot-pair as its own 2-entry FA-LRU.
+        pairs = {}
+        rnd = random.Random(11)
+        half = geo.num_sets // 2
+        for _ in range(4000):
+            block = rnd.randrange(0, 4096)
+            addr = block * 64
+            pi = c.primary_index(addr)
+            key = min(pi, pi ^ half)
+            model = pairs.setdefault(key, FullyAssociativeLRU(2))
+            expect_hit, _ = model.access(geo.block_number(addr))
+            out = c.access(addr)
+            assert (out.kind is not PacHit.MISS) == expect_hit
+
+
+class TestStatsAndIntrospection:
+    def test_miss_rate_tracks(self, geo):
+        c = pac(geo)
+        c.access(0x1000)
+        c.access(0x1000)
+        assert c.stats.accesses == 2
+        assert c.stats.hits == 1
+        assert c.secondary_hit_fraction == 0.0
+
+    def test_occupancy(self, geo):
+        c = pac(geo)
+        c.access(0x1000)
+        c.access(0x2040)
+        assert c.occupancy() == 2

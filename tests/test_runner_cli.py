@@ -1,0 +1,57 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_experiments
+from repro.experiments.base import ExperimentParams
+
+
+TINY = ExperimentParams(n_refs=6_000, warmup=2_000, suite=["gcc"])
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        # Nine paper tables/figures plus the two measured §5.6 extensions.
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "table1", "fig4",
+            "fig5", "sec54", "fig6", "fig7",
+            "sec56", "assoc",
+        }
+
+    def test_run_experiments_by_name(self):
+        results = run_experiments(["table1"], TINY)
+        assert len(results) == 1
+        assert results[0].experiment_id == "table1"
+
+    def test_multi_result_experiments(self):
+        results = run_experiments(["fig6"], TINY)
+        assert [r.experiment_id for r in results] == ["fig6-8", "fig6-16"]
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            run_experiments(["fig99"], TINY)
+
+
+class TestCLI:
+    def test_main_prints_table(self, capsys):
+        rc = main(["table1", "--refs", "6000", "--warmup", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Victim-cache hit rates" in out
+        assert "V cache" in out
+
+    def test_quick_flag(self, capsys):
+        rc = main(["table1", "--quick"])
+        assert rc == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_chart_flag(self, capsys):
+        rc = main(["table1", "--quick", "--chart", "Total"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table1: Total" in out
+        assert "|" in out
+
+    def test_chart_flag_bad_column(self, capsys):
+        rc = main(["table1", "--quick", "--chart", "nonexistent"])
+        assert rc == 0  # chart errors are soft

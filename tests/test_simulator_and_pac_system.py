@@ -1,0 +1,136 @@
+"""Tests for the trace-driven runners (assist-buffer and PAC systems)."""
+
+import pytest
+
+from repro.buffers import victim
+from repro.cache.pseudo_assoc import PacVariant
+from repro.system.config import PAPER_MACHINE, MachineConfig, TimingConfig
+from repro.system.pac_system import PacMemorySystem, simulate_pac
+from repro.system.policies import BASELINE
+from repro.system.simulator import geomean, mean, simulate, simulate_policies, speedup
+from repro.workloads.trace import Trace
+
+L1_SIZE = PAPER_MACHINE.l1.size
+
+
+def trace(addresses, **kw):
+    return Trace(list(addresses), **kw)
+
+
+class TestSimulate:
+    def test_returns_finished_stats(self):
+        t = trace([0x1000, 0x1000, 0x2000])
+        stats = simulate(t, BASELINE)
+        assert stats.l1.accesses == 3
+        assert stats.timing.cycles > 0
+        assert stats.timing.instructions == t.total_instructions
+
+    def test_warmup_excluded_from_stats(self):
+        t = trace([0x1000] * 10)
+        stats = simulate(t, BASELINE, warmup=5)
+        assert stats.l1.accesses == 5
+        assert stats.l1.hits == 5  # warm line
+
+    def test_warmup_bounds_checked(self):
+        t = trace([0x1000])
+        with pytest.raises(ValueError):
+            simulate(t, BASELINE, warmup=2)
+
+    def test_deterministic(self):
+        t = trace([0x1000 + (i * 2741) % 65536 for i in range(500)])
+        a = simulate(t, victim.traditional())
+        b = simulate(t, victim.traditional())
+        assert a.timing.cycles == b.timing.cycles
+        assert a.l1.hits == b.l1.hits
+
+    def test_simulate_policies_runs_each(self):
+        t = trace([0x1000, 0x2000] * 5)
+        out = simulate_policies(t, victim.table1_policies())
+        assert set(out) == {
+            "no V cache", "V cache", "filter swaps", "filter fills", "filter both"
+        }
+
+    def test_speedup_vs_baseline(self):
+        # Sparse ping-pong (lots of compute between refs): buffer hits
+        # beat 20-cycle L2 trips and the swap traffic stays uncontended.
+        a, b = 0x100000, 0x100000 + L1_SIZE
+        t = trace([a, b] * 200, gaps=[20] * 400)
+        base = simulate(t, BASELINE)
+        vc = simulate(t, victim.traditional())
+        assert speedup(vc, base) > 1.02
+
+    def test_swap_filter_wins_on_saturating_ping_pong(self):
+        # Back-to-back conflict misses: every traditional victim hit swaps,
+        # occupying bank and buffer — the exact pathology §5.1's
+        # filter-swaps policy removes.
+        a, b = 0x100000, 0x100000 + L1_SIZE
+        t = trace([a, b] * 200, gaps=[2] * 400)
+        trad = simulate(t, victim.traditional())
+        noswap = simulate(t, victim.filter_swaps())
+        assert noswap.timing.ipc > trad.timing.ipc
+        assert noswap.buffer.swaps < trad.buffer.swaps
+
+    def test_speedup_requires_finished_baseline(self):
+        from repro.cache.stats import SystemStats
+
+        with pytest.raises(ValueError):
+            speedup(SystemStats(), SystemStats())
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_requires_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestPacSystem:
+    def test_rejects_associative_l1(self):
+        from dataclasses import replace
+
+        from repro.cache.geometry import CacheGeometry
+
+        machine = replace(
+            PAPER_MACHINE,
+            l1=CacheGeometry(size=16 * 1024, assoc=2, line_size=64),
+        )
+        with pytest.raises(ValueError):
+            PacMemorySystem(machine=machine)
+
+    def test_secondary_hits_cost_more_than_primary(self):
+        a, b = 0x100000, 0x100000 + L1_SIZE
+        ping = trace([a, b] * 300, gaps=[2] * 600)
+        pure_primary = trace([a] * 600, gaps=[2] * 600)
+        slow = simulate_pac(ping, PacVariant.CLASSIC)
+        fast = simulate_pac(pure_primary, PacVariant.CLASSIC)
+        assert fast.timing.ipc > slow.timing.ipc
+
+    def test_pac_beats_dm_on_ping_pong(self):
+        a, b = 0x100000, 0x100000 + L1_SIZE
+        t = trace([a, b] * 300, gaps=[2] * 600)
+        dm = simulate(t, BASELINE)
+        pac = simulate_pac(t, PacVariant.CLASSIC)
+        assert pac.l1.miss_rate < dm.l1.miss_rate
+        assert pac.timing.ipc > dm.timing.ipc
+
+    def test_warmup_reset(self):
+        t = trace([0x1000] * 10)
+        stats = simulate_pac(t, warmup=5)
+        assert stats.l1.accesses == 5
+        assert stats.l1.hits == 5
+
+    def test_memory_accesses_counted(self):
+        t = trace([0x1000, 0x1000])
+        stats = simulate_pac(t)
+        assert stats.memory_accesses == 1

@@ -1,0 +1,97 @@
+"""Unit tests for the statistics containers."""
+
+from repro.cache.stats import (
+    BufferStats,
+    CacheStats,
+    ClassificationStats,
+    SystemStats,
+    TimingStats,
+)
+
+
+class TestCacheStats:
+    def test_rates(self):
+        s = CacheStats(accesses=10, hits=7, misses=3)
+        assert s.hit_rate == 70.0
+        assert s.miss_rate == 30.0
+
+    def test_zero_division_safe(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_reset(self):
+        s = CacheStats(accesses=10, hits=7)
+        s.reset()
+        assert s.accesses == 0 and s.hits == 0
+
+    def test_merge(self):
+        a = CacheStats(accesses=5, hits=2, misses=3)
+        b = CacheStats(accesses=1, hits=1)
+        a.merge(b)
+        assert a.accesses == 6 and a.hits == 3
+
+
+class TestBufferStats:
+    def test_table1_rates_use_total_accesses(self):
+        b = BufferStats(hits=64, swaps=17, fills=66)
+        assert b.hit_rate(1000) == 6.4
+        assert b.swap_rate(1000) == 1.7
+        assert b.fill_rate(1000) == 6.6
+
+    def test_prefetch_accuracy(self):
+        b = BufferStats(prefetches_issued=100, prefetches_used=40)
+        assert b.prefetch_accuracy == 40.0
+        assert BufferStats().prefetch_accuracy == 0.0
+
+    def test_probe_hit_rate(self):
+        b = BufferStats(probes=50, hits=10)
+        assert b.hit_rate_of_probes == 20.0
+
+
+class TestClassificationStats:
+    def test_record_and_accuracies(self):
+        c = ClassificationStats()
+        for _ in range(9):
+            c.record(predicted_conflict=True, actual_conflict=True)
+        c.record(predicted_conflict=False, actual_conflict=True)
+        for _ in range(8):
+            c.record(predicted_conflict=False, actual_conflict=False)
+        for _ in range(2):
+            c.record(predicted_conflict=True, actual_conflict=False)
+        assert c.true_conflicts == 10
+        assert c.true_capacities == 10
+        assert c.conflict_accuracy == 90.0
+        assert c.capacity_accuracy == 80.0
+        assert c.overall_accuracy == 85.0
+        assert c.total == 20
+
+    def test_empty_is_zero(self):
+        c = ClassificationStats()
+        assert c.conflict_accuracy == 0.0
+        assert c.overall_accuracy == 0.0
+
+    def test_merge(self):
+        a = ClassificationStats(conflict_as_conflict=1)
+        b = ClassificationStats(conflict_as_conflict=2, capacity_as_capacity=3)
+        a.merge(b)
+        assert a.conflict_as_conflict == 3
+        assert a.capacity_as_capacity == 3
+
+
+class TestTimingStats:
+    def test_ipc_cpi(self):
+        t = TimingStats(cycles=100.0, instructions=300)
+        assert t.ipc == 3.0
+        assert t.cpi == 100.0 / 300.0
+
+    def test_zero_safe(self):
+        assert TimingStats().ipc == 0.0
+        assert TimingStats().cpi == 0.0
+
+
+class TestSystemStats:
+    def test_total_hit_rate_combines_l1_and_buffer(self):
+        s = SystemStats()
+        s.l1 = CacheStats(accesses=100, hits=80)
+        s.buffer = BufferStats(hits=10)
+        assert s.total_hit_rate == 90.0
+        assert s.effective_miss_rate == 10.0

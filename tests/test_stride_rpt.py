@@ -1,0 +1,127 @@
+"""Tests for the Chen & Baer reference prediction table."""
+
+import pytest
+
+from repro.buffers.stride import (
+    PrefetcherComparison,
+    ReferencePredictionTable,
+    RPTState,
+    compare_prefetchers,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.workloads.spec_analogs import build
+from repro.workloads.trace import Trace
+
+
+class TestStateMachine:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ReferencePredictionTable(100)
+
+    def test_first_sighting_predicts_nothing(self):
+        rpt = ReferencePredictionTable()
+        assert rpt.observe(0x400000, 0x1000) is None
+        assert rpt.state_of(0x400000) is RPTState.INITIAL
+
+    def test_constant_stride_reaches_steady_and_predicts(self):
+        rpt = ReferencePredictionTable()
+        pc = 0x400000
+        rpt.observe(pc, 0x1000)
+        out = rpt.observe(pc, 0x1008)          # stride 8 adopted
+        # Second sighting with a fresh stride: prediction begins once the
+        # state machine reaches STEADY.
+        out = rpt.observe(pc, 0x1010)
+        assert out == 0x1018
+        assert rpt.state_of(pc) is RPTState.STEADY
+
+    def test_prediction_follows_stride(self):
+        rpt = ReferencePredictionTable()
+        pc = 0x400000
+        for i in range(5):
+            out = rpt.observe(pc, 0x2000 + i * 64)
+        assert out == 0x2000 + 5 * 64
+
+    def test_zero_stride_never_predicts(self):
+        rpt = ReferencePredictionTable()
+        pc = 0x400000
+        for _ in range(5):
+            out = rpt.observe(pc, 0x3000)
+        assert out is None
+
+    def test_random_stream_goes_no_pred(self):
+        rpt = ReferencePredictionTable()
+        pc = 0x400000
+        import random
+
+        rnd = random.Random(1)
+        for _ in range(20):
+            rpt.observe(pc, rnd.randrange(0, 1 << 20))
+        assert rpt.state_of(pc) in (RPTState.NO_PRED, RPTState.TRANSIENT,
+                                    RPTState.INITIAL)
+
+    def test_stride_change_then_restabilise(self):
+        rpt = ReferencePredictionTable()
+        pc = 0x400000
+        for i in range(4):
+            rpt.observe(pc, 0x1000 + i * 8)
+        assert rpt.state_of(pc) is RPTState.STEADY
+        rpt.observe(pc, 0x9000)      # break the pattern
+        assert rpt.state_of(pc) is not RPTState.STEADY
+        base = 0x9000
+        for i in range(1, 5):
+            out = rpt.observe(pc, base + i * 16)
+        assert out == base + 4 * 16 + 16  # stride 16 relearned
+
+    def test_distinct_pcs_tracked_separately(self):
+        rpt = ReferencePredictionTable()
+        pc_a, pc_b = 0x400000, 0x400004  # adjacent slots, no aliasing
+        for i in range(4):
+            rpt.observe(pc_a, 0x1000 + i * 8)
+            rpt.observe(pc_b, 0x8000 + i * 128)
+        assert rpt.observe(pc_a, 0x1000 + 4 * 8) == 0x1000 + 5 * 8
+        assert rpt.observe(pc_b, 0x8000 + 4 * 128) == 0x8000 + 5 * 128
+
+    def test_tag_conflict_resets_entry(self):
+        rpt = ReferencePredictionTable(entries=4)
+        pc_a, pc_b = 0x400000, 0x400000 + 4 * 4  # same slot
+        for i in range(4):
+            rpt.observe(pc_a, 0x1000 + i * 8)
+        rpt.observe(pc_b, 0x2000)  # evicts pc_a's entry
+        assert rpt.state_of(pc_a) is None
+        assert rpt.state_of(pc_b) is RPTState.INITIAL
+
+
+class TestComparison:
+    GEO = CacheGeometry(size=16 * 1024, assoc=1, line_size=64)
+
+    def test_pure_stride_both_do_well(self):
+        n = 4000
+        t = Trace([0x100000 + i * 8 for i in range(n)],
+                  pcs=[0x400000] * n)
+        cmp = compare_prefetchers(t, self.GEO)
+        assert cmp.next_line_coverage > 80
+        assert cmp.rpt_coverage > 80
+
+    def test_long_stride_favours_rpt(self):
+        """Stride 256 skips lines: next-line prefetches the wrong block,
+        the RPT learns the true stride."""
+        n = 3000
+        t = Trace([0x100000 + i * 256 for i in range(n)],
+                  pcs=[0x400000] * n)
+        cmp = compare_prefetchers(t, self.GEO)
+        assert cmp.rpt_coverage > cmp.next_line_coverage
+        assert cmp.rpt_accuracy > cmp.next_line_accuracy
+
+    def test_irregular_analog_favours_next_line_coverage(self):
+        """§5.2: 'for most of the benchmarks we use, particularly the
+        irregular applications, the simple next-line prefetcher actually
+        provides higher coverage' (at lower accuracy)."""
+        t = build("gcc", 30_000)
+        cmp = compare_prefetchers(t, self.GEO)
+        assert cmp.next_line_coverage >= cmp.rpt_coverage
+
+    def test_returns_dataclass(self):
+        t = build("li", 5_000)
+        cmp = compare_prefetchers(t, self.GEO)
+        assert isinstance(cmp, PrefetcherComparison)
+        assert cmp.misses > 0
