@@ -9,7 +9,8 @@ fine-grained.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict
 
 
 def _pct(part: int | float, whole: int | float) -> float:
@@ -197,3 +198,11 @@ class SystemStats:
     def effective_miss_rate(self) -> float:
         """Misses not covered by L1 or the assist buffer, in percent."""
         return 100.0 - self.total_hit_rate
+
+    def as_dict(self) -> Dict[str, object]:
+        """Nested plain-dict snapshot of every counter.
+
+        Used by the invariant checker's diagnostics and by debug dumps;
+        contains raw counters only (derived rates are properties).
+        """
+        return asdict(self)

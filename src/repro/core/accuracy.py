@@ -104,6 +104,12 @@ def measure_accuracy(
         oracle.observe(addr)
 
     result.cache.merge(cache.stats)
+    # Harness debug flag: validate that misses partition exactly into
+    # conflict + capacity (compulsory inside capacity) before the numbers
+    # can reach any table.
+    from repro.harness.invariants import maybe_check_accuracy
+
+    maybe_check_accuracy(result)
     return result
 
 

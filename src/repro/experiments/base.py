@@ -9,7 +9,7 @@ benchmark harness, and dumped into EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.workloads.spec_analogs import ACCURACY_SUITE, EVAL_SUITE
 
@@ -44,6 +44,26 @@ class ExperimentParams:
     def quick(cls) -> "ExperimentParams":
         """Small parameters for CI-speed runs."""
         return cls(n_refs=40_000, warmup=12_000)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (used by the harness checkpoint manifest)."""
+        return {
+            "n_refs": self.n_refs,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "suite": list(self.suite) if self.suite is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentParams":
+        """Inverse of :meth:`to_dict`; re-runs all parameter validation."""
+        suite = payload.get("suite")
+        return cls(
+            n_refs=int(payload["n_refs"]),  # type: ignore[arg-type]
+            warmup=int(payload["warmup"]),  # type: ignore[arg-type]
+            seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
+            suite=[str(s) for s in suite] if suite is not None else None,  # type: ignore[union-attr]
+        )
 
 
 #: Default params used by the committed results.
@@ -83,6 +103,32 @@ class ExperimentResult:
     def cell(self, row_key: object, column: str, key_column: int = 0) -> object:
         """Single cell by row key and column name."""
         return self.row_dict(key_column)[row_key][self.headers.index(column)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: every table cell is str/int/float/bool, so the
+        round-trip through :meth:`from_dict` is lossless."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "paper_reference": self.paper_reference,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`; validates row widths on the way in."""
+        result = cls(
+            experiment_id=str(payload["experiment_id"]),
+            title=str(payload["title"]),
+            headers=[str(h) for h in payload["headers"]],  # type: ignore[union-attr]
+            notes=[str(n) for n in payload.get("notes", [])],  # type: ignore[union-attr]
+            paper_reference=str(payload.get("paper_reference", "")),
+        )
+        for row in payload.get("rows", []):  # type: ignore[union-attr]
+            result.add_row(*row)
+        return result
 
 
 def format_result(result: ExperimentResult) -> str:

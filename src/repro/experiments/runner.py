@@ -1,4 +1,4 @@
-"""CLI runner: regenerate any paper table/figure.
+"""CLI runner: regenerate any paper table/figure, fault-tolerantly.
 
 Usage (installed as ``repro-experiments``)::
 
@@ -6,6 +6,18 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments fig1 fig6
     repro-experiments fig4 --refs 200000 --warmup 60000
     repro-experiments table1 --quick
+    repro-experiments all --run-dir out/ --timeout 600 --strict
+    repro-experiments all --run-dir out/ --resume      # skip finished cells
+    repro-experiments --resume out/ all                # same thing
+
+Every experiment is routed through :mod:`repro.harness`: each
+(experiment, variant) *cell* runs in its own worker process with an
+optional timeout, failures are retried with exponential backoff, and —
+when ``--run-dir`` is given — each completed cell's table is persisted as
+a schema-versioned JSON artifact so an interrupted campaign can be
+resumed without recomputing anything.  A structured per-cell report is
+printed at the end (and saved as ``report.json``); ``--strict`` turns any
+degraded cell into a non-zero exit for CI.
 
 Each experiment prints an ASCII table matching the corresponding table or
 figure of the paper; see EXPERIMENTS.md for the committed results and the
@@ -16,64 +28,54 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-from repro.experiments import (
-    assoc_sweep,
-    fig1_accuracy,
-    fig2_tag_bits,
-    fig3_victim,
-    fig4_prefetch,
-    fig5_exclusion,
-    fig6_amb,
-    fig7_amb_hits,
-    sec54_pseudo,
-    sec56_multithreaded,
-    table1_victim,
-)
 from repro.experiments.base import ExperimentParams, ExperimentResult, format_result
+from repro.harness.cells import (
+    VARIANTS,
+    CellSpec,
+    FaultInjection,
+    expand_cells,
+    known_experiments,
+    run_cell,
+)
+from repro.harness.checkpoint import CheckpointError, RunDirectory
+from repro.harness.executor import HarnessConfig, run_cells
+from repro.harness.report import CellReport, CellStatus
 
 RunFn = Callable[[ExperimentParams], List[ExperimentResult]]
 
 
-def _single(fn: Callable[[ExperimentParams], ExperimentResult]) -> RunFn:
-    return lambda params: [fn(params)]
+def _experiment_fn(name: str) -> RunFn:
+    def run(params: ExperimentParams) -> List[ExperimentResult]:
+        return [fn(params) for fn in VARIANTS[name].values()]
+
+    return run
 
 
+#: Legacy name -> run-function view of the cell registry (kept for the
+#: benchmark harness and direct library use; the CLI goes through cells).
 EXPERIMENTS: Dict[str, RunFn] = {
-    "fig1": _single(fig1_accuracy.run),
-    "fig2": _single(fig2_tag_bits.run),
-    "fig3": _single(fig3_victim.run),
-    "table1": _single(table1_victim.run),
-    "fig4": lambda p: [fig4_prefetch.run_accuracy(p), fig4_prefetch.run_speedup(p)],
-    "fig5": lambda p: [fig5_exclusion.run(p), fig5_exclusion.run_hit_rates(p)],
-    "sec54": _single(sec54_pseudo.run),
-    "fig6": lambda p: list(fig6_amb.run_both_sizes(p)),
-    "fig7": lambda p: [fig7_amb_hits.run(p, 8), fig7_amb_hits.run(p, 16)],
-    # Extensions beyond the paper's figures (§5.6, measured here):
-    "sec56": _single(sec56_multithreaded.run),
-    "assoc": _single(assoc_sweep.run),
+    name: _experiment_fn(name) for name in VARIANTS
 }
 
 
 def run_experiments(
     names: List[str], params: ExperimentParams
 ) -> List[ExperimentResult]:
+    """Run experiments inline (no isolation) and return their tables."""
     results: List[ExperimentResult] = []
     for name in names:
-        try:
-            fn = EXPERIMENTS[name]
-        except KeyError:
+        if name not in VARIANTS:
             raise SystemExit(
                 f"unknown experiment {name!r}; choose from "
-                f"{sorted(EXPERIMENTS)} or 'all'"
+                f"{sorted(VARIANTS)} or 'all'"
             )
-        results.extend(fn(params))
+        results.extend(run_cell(spec, params) for spec in expand_cells([name]))
     return results
 
 
-def main(argv: List[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate tables/figures from Collins & Tullsen, MICRO 1999.",
@@ -81,11 +83,17 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+        help=f"experiment ids ({', '.join(known_experiments())}) or 'all'",
     )
     parser.add_argument("--refs", type=int, default=None, help="trace length")
     parser.add_argument("--warmup", type=int, default=None, help="warmup refs")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--suite",
+        default=None,
+        metavar="BENCH[,BENCH...]",
+        help="restrict every experiment to these benchmarks",
+    )
     parser.add_argument(
         "--quick", action="store_true", help="small traces for a fast pass"
     )
@@ -95,41 +103,194 @@ def main(argv: List[str] | None = None) -> int:
         default=None,
         help="also draw an ASCII bar chart of one result column",
     )
-    args = parser.parse_args(argv)
-
-    params = ExperimentParams.quick() if args.quick else ExperimentParams()
-    overrides = {}
-    if args.refs is not None:
-        overrides["n_refs"] = args.refs
-    if args.warmup is not None:
-        overrides["warmup"] = args.warmup
-    if args.seed:
-        overrides["seed"] = args.seed
-    if overrides:
-        params = ExperimentParams(
-            n_refs=overrides.get("n_refs", params.n_refs),
-            warmup=overrides.get("warmup", params.warmup),
-            seed=overrides.get("seed", params.seed),
-        )
-
-    names = (
-        sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    harness = parser.add_argument_group("harness (fault tolerance)")
+    harness.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="persist per-cell JSON artifacts and report.json here",
     )
-    for name in names:
-        start = time.time()
-        for result in run_experiments([name], params):
+    harness.add_argument(
+        "--resume",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help="skip cells already checkpointed in DIR (defaults to --run-dir)",
+    )
+    harness.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any cell attempt that runs longer than this",
+    )
+    harness.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failed/timed-out cell (default 1)",
+    )
+    harness.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base retry backoff; doubles per attempt, with jitter",
+    )
+    harness.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any cell ends FAILED or TIMEOUT",
+    )
+    harness.add_argument(
+        "--no-isolate",
+        action="store_true",
+        help="run cells in-process (no crash/hang protection; debugging)",
+    )
+    harness.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip statistics conservation-law checks after each simulation",
+    )
+    harness.add_argument(
+        "--inject-fault",
+        default=None,
+        help=argparse.SUPPRESS,  # <cell_id>:<fail|hang|flaky[:N]> (testing)
+    )
+    return parser
+
+
+def _validate_names(
+    parser: argparse.ArgumentParser, requested: List[str]
+) -> List[str]:
+    """Expand 'all' and reject unknown names before anything runs."""
+    if "all" in requested:
+        return known_experiments()
+    unknown = [name for name in requested if name not in VARIANTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {', '.join(repr(n) for n in unknown)}; "
+            f"valid names: {', '.join(known_experiments())} (or 'all')"
+        )
+    return list(requested)
+
+
+def _validate_params(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> ExperimentParams:
+    """Build the full ExperimentParams up front so a bad --refs/--warmup
+    combination fails immediately, not halfway through a campaign."""
+    base = ExperimentParams.quick() if args.quick else ExperimentParams()
+    suite: Optional[List[str]] = None
+    if args.suite is not None:
+        from repro.workloads.spec_analogs import SUITE
+
+        suite = [s.strip() for s in args.suite.split(",") if s.strip()]
+        bad = [s for s in suite if s not in SUITE]
+        if bad or not suite:
+            parser.error(
+                f"unknown benchmark(s) {', '.join(repr(b) for b in bad) or '(none)'}"
+                f"; valid: {', '.join(sorted(SUITE))}"
+            )
+    try:
+        return ExperimentParams(
+            n_refs=args.refs if args.refs is not None else base.n_refs,
+            warmup=args.warmup if args.warmup is not None else base.warmup,
+            seed=args.seed,
+            suite=suite,
+        )
+    except ValueError as exc:
+        parser.error(f"invalid parameters: {exc}")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _make_cell_printer(chart: Optional[str]) -> Callable:
+    def on_cell(
+        spec: CellSpec, cell: CellReport, result: Optional[ExperimentResult]
+    ) -> None:
+        if result is not None:
             print(format_result(result))
-            if args.chart:
+            if chart:
                 from repro.experiments.charts import bar_chart
 
                 try:
                     print()
-                    print(bar_chart(result, args.chart))
+                    print(bar_chart(result, chart))
                 except ValueError as exc:
                     print(f"(no chart: {exc})", file=sys.stderr)
             print()
-        print(f"[{name}: {time.time() - start:.1f}s]", file=sys.stderr)
-    return 0
+        suffix = ""
+        if cell.status is CellStatus.SKIPPED:
+            suffix = " (cached)"
+        elif cell.status is CellStatus.RETRIED:
+            suffix = f" (after {cell.attempts} attempts)"
+        print(
+            f"[{spec.cell_id}: {cell.status.value.lower()}"
+            f" {cell.duration_s:.1f}s{suffix}]",
+            file=sys.stderr,
+        )
+        if cell.error:
+            tail = cell.error.strip().splitlines()[-1]
+            print(f"[{spec.cell_id}: {tail}]", file=sys.stderr)
+
+    return on_cell
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    names = _validate_names(parser, args.experiments)
+    params = _validate_params(parser, args)
+    cells = expand_cells(names)
+
+    inject = None
+    if args.inject_fault:
+        try:
+            inject = FaultInjection.parse(args.inject_fault)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    resume = args.resume is not None
+    run_dir_path = args.resume if isinstance(args.resume, str) else args.run_dir
+    if resume and run_dir_path is None:
+        parser.error("--resume needs a run directory (pass --run-dir or --resume DIR)")
+
+    run_dir: Optional[RunDirectory] = None
+    if run_dir_path is not None:
+        run_dir = RunDirectory(run_dir_path)
+        try:
+            run_dir.prepare(params, resume=resume)
+        except CheckpointError as exc:
+            parser.error(str(exc))
+
+    try:
+        config = HarnessConfig(
+            timeout_s=args.timeout,
+            retries=args.retries,
+            backoff_s=args.backoff,
+            isolate=not args.no_isolate,
+            check_invariants=not args.no_invariants,
+            strict=args.strict,
+        )
+    except ValueError as exc:
+        parser.error(f"invalid harness options: {exc}")
+
+    report = run_cells(
+        cells,
+        params,
+        config,
+        run_dir=run_dir,
+        resume=resume,
+        inject=inject,
+        on_cell=_make_cell_printer(args.chart),
+    )
+
+    print(report.format_table())
+    if run_dir is not None:
+        print(f"[report saved to {run_dir.report_path}]", file=sys.stderr)
+    return report.exit_code(args.strict)
 
 
 if __name__ == "__main__":  # pragma: no cover

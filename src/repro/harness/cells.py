@@ -1,0 +1,183 @@
+"""The harness cell registry.
+
+A *cell* is the unit of isolation, checkpointing and retry: one
+(experiment, variant) pair producing exactly one
+:class:`~repro.experiments.base.ExperimentResult` table.  Experiments
+that print several tables (fig4's accuracy and speedup, fig6's 8- and
+16-entry buffers, …) split into one cell each, so a crash in one table
+cannot take the others down and ``--resume`` re-runs only what is
+missing.
+
+Cells are addressed by string id (``"fig6.amb16"``) and resolved back to
+a callable *inside* the worker process, so nothing unpicklable ever
+crosses a process boundary.
+
+This module also hosts the deterministic fault injector used by the test
+suite (and CI) to prove the isolation properties: ``--inject-fault
+fig1.main:fail`` makes exactly that cell raise, ``:hang`` makes it sleep
+past any timeout, and ``:flaky:N`` makes it fail its first N attempts and
+then succeed — exercising FAILED, TIMEOUT and RETRIED paths respectively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    assoc_sweep,
+    fig1_accuracy,
+    fig2_tag_bits,
+    fig3_victim,
+    fig4_prefetch,
+    fig5_exclusion,
+    fig6_amb,
+    fig7_amb_hits,
+    sec54_pseudo,
+    sec56_multithreaded,
+    table1_victim,
+)
+from repro.experiments.base import ExperimentParams, ExperimentResult
+
+RunVariant = Callable[[ExperimentParams], ExperimentResult]
+
+
+def _fig6_8(p: ExperimentParams) -> ExperimentResult:
+    return fig6_amb.run(p, entries=8)
+
+
+def _fig6_16(p: ExperimentParams) -> ExperimentResult:
+    return fig6_amb.run(p, entries=16)
+
+
+def _fig7_8(p: ExperimentParams) -> ExperimentResult:
+    return fig7_amb_hits.run(p, 8)
+
+
+def _fig7_16(p: ExperimentParams) -> ExperimentResult:
+    return fig7_amb_hits.run(p, 16)
+
+
+#: Experiment -> ordered {variant key -> runner}.  Variant order fixes
+#: both table-printing order and cell execution order, matching the
+#: pre-harness monolithic runner output exactly.
+VARIANTS: Dict[str, Dict[str, RunVariant]] = {
+    "fig1": {"main": fig1_accuracy.run},
+    "fig2": {"main": fig2_tag_bits.run},
+    "fig3": {"main": fig3_victim.run},
+    "table1": {"main": table1_victim.run},
+    "fig4": {
+        "accuracy": fig4_prefetch.run_accuracy,
+        "speedup": fig4_prefetch.run_speedup,
+    },
+    "fig5": {
+        "speedup": fig5_exclusion.run,
+        "hitrates": fig5_exclusion.run_hit_rates,
+    },
+    "sec54": {"main": sec54_pseudo.run},
+    "fig6": {"amb8": _fig6_8, "amb16": _fig6_16},
+    "fig7": {"amb8": _fig7_8, "amb16": _fig7_16},
+    # Extensions beyond the paper's figures (§5.6, measured here):
+    "sec56": {"main": sec56_multithreaded.run},
+    "assoc": {"main": assoc_sweep.run},
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One supervisable cell, addressable by string id."""
+
+    experiment: str
+    variant: str
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.experiment}.{self.variant}"
+
+
+def known_experiments() -> List[str]:
+    return sorted(VARIANTS)
+
+
+def expand_cells(names: List[str]) -> List[CellSpec]:
+    """Experiment names -> ordered cell list; unknown names raise KeyError."""
+    cells: List[CellSpec] = []
+    for name in names:
+        if name not in VARIANTS:
+            raise KeyError(name)
+        cells.extend(CellSpec(name, variant) for variant in VARIANTS[name])
+    return cells
+
+
+def resolve(spec: CellSpec) -> RunVariant:
+    try:
+        return VARIANTS[spec.experiment][spec.variant]
+    except KeyError:
+        raise KeyError(f"unknown cell {spec.cell_id!r}") from None
+
+
+def run_cell(spec: CellSpec, params: ExperimentParams) -> ExperimentResult:
+    """Execute one cell in the current process."""
+    return resolve(spec)(params)
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault injection (testing/CI only)
+# ----------------------------------------------------------------------
+class InjectedFault(RuntimeError):
+    """Raised by the fault injector in place of running the cell."""
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Make one cell misbehave on purpose.
+
+    ``kind`` is ``"fail"`` (raise on every attempt), ``"hang"`` (sleep
+    until killed) or ``"flaky"`` (raise on the first ``times`` attempts,
+    then run normally).
+    """
+
+    cell_id: str
+    kind: str
+    times: int = 1
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultInjection":
+        """Parse ``<cell_id>:<kind>[:<times>]`` (e.g. ``fig1.main:flaky:2``)."""
+        parts = spec.split(":")
+        if len(parts) < 2 or not parts[0]:
+            raise ValueError(
+                f"bad fault spec {spec!r}: expected <cell_id>:<kind>[:<times>]"
+            )
+        cell_id, kind = parts[0], parts[1]
+        if kind not in ("fail", "hang", "flaky"):
+            raise ValueError(
+                f"bad fault kind {kind!r}: expected fail, hang or flaky"
+            )
+        times = 1
+        if len(parts) > 2:
+            times = int(parts[2])
+            if times < 1:
+                raise ValueError("fault repeat count must be >= 1")
+        return cls(cell_id=cell_id, kind=kind, times=times)
+
+    def trigger(self, spec: CellSpec, attempt: int) -> None:
+        """Raise/hang when this injection applies to ``spec``/``attempt``."""
+        if spec.cell_id != self.cell_id:
+            return
+        if self.kind == "hang":
+            while True:  # parked until the supervisor kills the worker
+                time.sleep(3600)
+        if self.kind == "fail" or attempt <= self.times:
+            raise InjectedFault(
+                f"injected {self.kind} fault in {self.cell_id} "
+                f"(attempt {attempt})"
+            )
+
+
+def maybe_inject(
+    spec: CellSpec, inject: Optional[FaultInjection], attempt: int
+) -> None:
+    if inject is not None:
+        inject.trigger(spec, attempt)

@@ -1,0 +1,173 @@
+"""Checkpoint/resume persistence for harness runs.
+
+A *run directory* holds everything one ``repro-experiments`` invocation
+produced::
+
+    <run-dir>/
+      manifest.json           # schema + the ExperimentParams of the run
+      cells/<cell_id>.json    # one artifact per completed cell
+      report.json             # final per-cell status report
+
+Artifacts are schema-versioned (:data:`SCHEMA_VERSION`) and written
+atomically (temp file + ``os.replace``) so an interrupted run never
+leaves a truncated artifact behind.  ``--resume`` loads every artifact
+whose cell id matches, after verifying that the manifest's parameters are
+identical to the current invocation — resuming with different
+``n_refs``/``warmup``/``seed`` would silently mix incomparable numbers,
+so it is refused instead.
+
+Artifact bytes are deterministic for a given (params, seed): keys are
+sorted and no timestamps or durations are embedded (those live in
+``report.json`` only).  Two runs with the same seed therefore produce
+byte-identical ``cells/*.json`` files, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.base import ExperimentParams, ExperimentResult
+
+#: Version of the artifact layout; bump on any incompatible change.
+SCHEMA_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_CELL_DIR = "cells"
+_REPORT = "report.json"
+
+
+class CheckpointError(RuntimeError):
+    """A run directory is unusable for the requested operation."""
+
+
+def _dump(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _safe_name(cell_id: str) -> str:
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in cell_id)
+
+
+class RunDirectory:
+    """One harness run's on-disk state."""
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / _MANIFEST
+
+    @property
+    def report_path(self) -> Path:
+        return self.path / _REPORT
+
+    def cell_path(self, cell_id: str) -> Path:
+        return self.path / _CELL_DIR / f"{_safe_name(cell_id)}.json"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def prepare(self, params: ExperimentParams, *, resume: bool) -> None:
+        """Create (or validate, when resuming) the run directory.
+
+        A fresh run writes a new manifest; stale cell artifacts from a
+        previous run with *matching* parameters are left in place (they
+        are simply overwritten as cells complete).  A fresh run over a
+        directory whose manifest disagrees with ``params`` is refused, as
+        is resuming a directory that has no manifest at all.
+        """
+        expected = {"schema": SCHEMA_VERSION, "params": params.to_dict()}
+        if self.manifest_path.exists():
+            try:
+                existing = json.loads(self.manifest_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise CheckpointError(
+                    f"{self.manifest_path} is not valid JSON: {exc}"
+                ) from exc
+            if existing.get("schema") != SCHEMA_VERSION:
+                raise CheckpointError(
+                    f"{self.path}: manifest schema "
+                    f"{existing.get('schema')!r} != {SCHEMA_VERSION} — "
+                    "this run directory was written by an incompatible version"
+                )
+            if existing.get("params") != expected["params"]:
+                raise CheckpointError(
+                    f"{self.path}: run directory was created with params "
+                    f"{existing.get('params')} but this invocation uses "
+                    f"{expected['params']}; results would not be comparable "
+                    "(use a fresh --run-dir)"
+                )
+        elif resume:
+            raise CheckpointError(
+                f"{self.path}: nothing to resume — no {_MANIFEST} found"
+            )
+        (self.path / _CELL_DIR).mkdir(parents=True, exist_ok=True)
+        _atomic_write(self.manifest_path, _dump(expected))
+
+    # ------------------------------------------------------------------
+    # Cell artifacts
+    # ------------------------------------------------------------------
+    def save_cell(self, cell_id: str, result: ExperimentResult) -> Path:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "cell": cell_id,
+            "result": result.to_dict(),
+        }
+        path = self.cell_path(cell_id)
+        _atomic_write(path, _dump(payload))
+        return path
+
+    def load_cell(self, cell_id: str) -> Optional[ExperimentResult]:
+        """The checkpointed result for ``cell_id``, or None.
+
+        Unreadable or schema-mismatched artifacts count as absent — the
+        cell simply re-runs rather than poisoning the resumed run.
+        """
+        path = self.cell_path(cell_id)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION or payload.get("cell") != cell_id:
+            return None
+        try:
+            return ExperimentResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def completed_cells(self) -> List[str]:
+        """Cell ids with a readable artifact (manifest-order not implied)."""
+        cell_dir = self.path / _CELL_DIR
+        if not cell_dir.is_dir():
+            return []
+        out = []
+        for path in sorted(cell_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                continue
+            if payload.get("schema") == SCHEMA_VERSION and "cell" in payload:
+                out.append(str(payload["cell"]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Report
+    # ------------------------------------------------------------------
+    def save_report(self, report_dict: Dict[str, object]) -> Path:
+        _atomic_write(self.report_path, _dump(report_dict))
+        return self.report_path

@@ -1,0 +1,261 @@
+"""Supervised cell execution: isolation, timeouts, retries, checkpoints.
+
+Each cell runs in its own ``multiprocessing`` worker (fork where the
+platform supports it, spawn otherwise).  The supervisor waits on a pipe
+rather than the process so a worker can never deadlock against a full
+pipe buffer; a cell that produces nothing within the timeout is killed
+and recorded as TIMEOUT instead of stalling the whole campaign.
+
+Failures and timeouts are retried up to ``retries`` times with
+exponential backoff.  Backoff jitter is drawn from a generator seeded by
+(run seed, cell id, attempt), so a re-run of the same campaign sleeps the
+same amounts — the harness introduces no nondeterminism of its own.
+
+Results cross the process boundary as the same schema-versioned dicts the
+checkpoint layer persists, so what ``--resume`` reloads is byte-for-byte
+what a live worker would have produced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.base import ExperimentParams, ExperimentResult
+from repro.harness import invariants
+from repro.harness.cells import CellSpec, FaultInjection, maybe_inject, run_cell
+from repro.harness.checkpoint import RunDirectory
+from repro.harness.report import CellReport, CellStatus, RunReport
+
+#: Called after every cell with its report and result (None when degraded).
+CellCallback = Callable[[CellSpec, CellReport, Optional[ExperimentResult]], None]
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Supervision knobs for one harness run.
+
+    ``timeout_s`` bounds each *attempt*, not the whole cell; ``retries``
+    is the number of extra attempts after the first.  ``isolate=False``
+    runs cells in-process (no timeout protection — crash isolation and
+    hang killing need a worker process) and exists for debugging and for
+    environments where fork/spawn is unavailable.
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 1
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    isolate: bool = True
+    check_invariants: bool = True
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_factor < 1 or self.jitter < 0:
+            raise ValueError("backoff must be >= 0, factor >= 1, jitter >= 0")
+
+
+def backoff_delay(
+    config: HarnessConfig, cell_id: str, attempt: int, seed: int
+) -> float:
+    """Deterministic exponential backoff with jitter, in seconds."""
+    base = config.backoff_s * config.backoff_factor ** (attempt - 1)
+    rng = random.Random(f"{seed}:{cell_id}:{attempt}")
+    return base * (1.0 + config.jitter * rng.random())
+
+
+def _start_method() -> str:
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+# ----------------------------------------------------------------------
+# One attempt
+# ----------------------------------------------------------------------
+_OK, _ERROR, _TIMEOUT = "ok", "error", "timeout"
+
+
+def _worker(
+    conn,
+    spec: CellSpec,
+    params: ExperimentParams,
+    inject: Optional[FaultInjection],
+    attempt: int,
+    check_invariants: bool,
+) -> None:
+    """Run one cell and ship its result (or traceback) over the pipe."""
+    try:
+        if check_invariants:
+            invariants.set_enabled(True)
+        maybe_inject(spec, inject, attempt)
+        result = run_cell(spec, params)
+        conn.send({"ok": True, "result": result.to_dict()})
+    except BaseException:
+        try:
+            conn.send({"ok": False, "error": traceback.format_exc()})
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            pass
+    finally:
+        conn.close()
+
+
+def _attempt_isolated(
+    spec: CellSpec,
+    params: ExperimentParams,
+    config: HarnessConfig,
+    inject: Optional[FaultInjection],
+    attempt: int,
+) -> Tuple[str, Optional[ExperimentResult], Optional[str]]:
+    ctx = multiprocessing.get_context(_start_method())
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_worker,
+        args=(child_conn, spec, params, inject, attempt, config.check_invariants),
+        daemon=True,
+        name=f"repro-cell-{spec.cell_id}",
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(config.timeout_s):
+            proc.terminate()
+            proc.join(5)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join()
+            return (_TIMEOUT, None,
+                    f"no result within {config.timeout_s}s; worker killed")
+        try:
+            payload = parent_conn.recv()
+        except EOFError:
+            payload = None
+    finally:
+        parent_conn.close()
+    proc.join(5)
+    if payload is None:
+        return (_ERROR, None,
+                f"worker died with exit code {proc.exitcode} before "
+                "producing a result")
+    if payload.get("ok"):
+        return (_OK, ExperimentResult.from_dict(payload["result"]), None)
+    return (_ERROR, None, payload.get("error", "unknown worker error"))
+
+
+def _attempt_inline(
+    spec: CellSpec,
+    params: ExperimentParams,
+    config: HarnessConfig,
+    inject: Optional[FaultInjection],
+    attempt: int,
+) -> Tuple[str, Optional[ExperimentResult], Optional[str]]:
+    previous = invariants._enabled
+    try:
+        if config.check_invariants:
+            invariants.set_enabled(True)
+        maybe_inject(spec, inject, attempt)
+        # Round-trip through the artifact schema even inline, so both
+        # execution modes return exactly what a resume would reload.
+        return (_OK,
+                ExperimentResult.from_dict(run_cell(spec, params).to_dict()),
+                None)
+    except Exception:
+        return (_ERROR, None, traceback.format_exc())
+    finally:
+        invariants.set_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# The supervised run
+# ----------------------------------------------------------------------
+def run_cells(
+    specs: List[CellSpec],
+    params: ExperimentParams,
+    config: HarnessConfig,
+    *,
+    run_dir: Optional[RunDirectory] = None,
+    resume: bool = False,
+    inject: Optional[FaultInjection] = None,
+    on_cell: Optional[CellCallback] = None,
+) -> RunReport:
+    """Run every cell under supervision; returns the structured report.
+
+    Completed cells checkpoint immediately (when ``run_dir`` is given), so
+    a crash of the *harness itself* loses at most the in-flight cell.  On
+    ``resume=True`` cells whose artifact already exists are reloaded and
+    reported SKIPPED without re-running.
+    """
+    report = RunReport(params=params.to_dict())
+    attempt_fn = _attempt_isolated if config.isolate else _attempt_inline
+    for spec in specs:
+        cached = run_dir.load_cell(spec.cell_id) if (run_dir and resume) else None
+        if cached is not None:
+            cell_report = CellReport(
+                spec.cell_id, CellStatus.SKIPPED, attempts=0, seed=params.seed
+            )
+            report.add(cell_report)
+            if on_cell:
+                on_cell(spec, cell_report, cached)
+            continue
+
+        started = time.perf_counter()
+        result: Optional[ExperimentResult] = None
+        last_kind, last_error = _ERROR, None
+        attempts = 0
+        for attempt in range(1, config.retries + 2):
+            attempts = attempt
+            kind, result, error = attempt_fn(spec, params, config, inject, attempt)
+            if kind == _OK:
+                break
+            last_kind, last_error = kind, error
+            if attempt <= config.retries:
+                time.sleep(backoff_delay(config, spec.cell_id, attempt, params.seed))
+        duration = time.perf_counter() - started
+
+        if result is not None:
+            status = CellStatus.OK if attempts == 1 else CellStatus.RETRIED
+            if run_dir is not None:
+                run_dir.save_cell(spec.cell_id, result)
+            error = None
+        else:
+            status = (CellStatus.TIMEOUT if last_kind == _TIMEOUT
+                      else CellStatus.FAILED)
+            error = last_error
+        cell_report = CellReport(
+            spec.cell_id,
+            status,
+            attempts=attempts,
+            duration_s=duration,
+            seed=params.seed,
+            error=error,
+        )
+        report.add(cell_report)
+        if on_cell:
+            on_cell(spec, cell_report, result)
+
+    if run_dir is not None:
+        run_dir.save_report(report.to_dict())
+    return report
+
+
+def results_by_cell(
+    specs: List[CellSpec],
+    report: RunReport,
+    run_dir: RunDirectory,
+) -> Dict[str, ExperimentResult]:
+    """Reload every completed cell's artifact from disk (post-run helper)."""
+    out: Dict[str, ExperimentResult] = {}
+    completed = {c.cell_id for c in report.cells if c.status.completed}
+    for spec in specs:
+        if spec.cell_id in completed:
+            loaded = run_dir.load_cell(spec.cell_id)
+            if loaded is not None:
+                out[spec.cell_id] = loaded
+    return out

@@ -1,0 +1,134 @@
+"""Structured run reports for the experiment harness.
+
+Every cell the harness supervises ends in exactly one status:
+
+========  ============================================================
+OK        completed on the first attempt
+RETRIED   completed, but only after one or more failed attempts
+TIMEOUT   the final attempt exceeded the cell timeout and was killed
+FAILED    the final attempt raised or the worker died
+SKIPPED   a checkpoint artifact satisfied the cell (``--resume``)
+========  ============================================================
+
+The report is printed as an ASCII table at the end of a run and, when a
+run directory is in use, saved as ``report.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class CellStatus(Enum):
+    OK = "OK"
+    RETRIED = "RETRIED"
+    TIMEOUT = "TIMEOUT"
+    FAILED = "FAILED"
+    SKIPPED = "SKIPPED"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def completed(self) -> bool:
+        """Whether the cell's results exist (fresh or from checkpoint)."""
+        return self in (CellStatus.OK, CellStatus.RETRIED, CellStatus.SKIPPED)
+
+
+@dataclass
+class CellReport:
+    """Outcome of one supervised cell."""
+
+    cell_id: str
+    status: CellStatus
+    attempts: int = 1
+    duration_s: float = 0.0
+    seed: int = 0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "cell": self.cell_id,
+            "status": self.status.value,
+            "attempts": self.attempts,
+            "duration_s": round(self.duration_s, 3),
+            "seed": self.seed,
+        }
+        if self.error:
+            d["error"] = self.error
+        return d
+
+
+@dataclass
+class RunReport:
+    """Everything one harness run produced, cell by cell."""
+
+    cells: List[CellReport] = field(default_factory=list)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, cell: CellReport) -> None:
+        self.cells.append(cell)
+
+    @property
+    def degraded(self) -> List[CellReport]:
+        """Cells whose results are missing from this run."""
+        return [c for c in self.cells if not c.status.completed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.degraded
+
+    def count(self, status: CellStatus) -> int:
+        return sum(1 for c in self.cells if c.status is status)
+
+    def exit_code(self, strict: bool) -> int:
+        """0 unless ``strict`` and at least one cell is degraded."""
+        return 1 if strict and not self.ok else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": 1,
+            "params": self.params,
+            "cells": [c.to_dict() for c in self.cells],
+            "summary": {s.value.lower(): self.count(s) for s in CellStatus},
+            "ok": self.ok,
+        }
+
+    def format_table(self) -> str:
+        """Fixed-width summary table, one row per cell."""
+        headers = ["cell", "status", "attempts", "time(s)", "seed"]
+        rows = [
+            [
+                c.cell_id,
+                c.status.value,
+                str(c.attempts),
+                f"{c.duration_s:.2f}",
+                str(c.seed),
+            ]
+            for c in self.cells
+        ]
+        table = [headers] + rows
+        widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+
+        def line(cells: List[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        out = ["== harness report =="]
+        out.append(line(headers))
+        out.append(line(["-" * w for w in widths]))
+        out.extend(line(r) for r in rows)
+        counts = ", ".join(
+            f"{s.value.lower()}={self.count(s)}"
+            for s in CellStatus
+            if self.count(s)
+        )
+        out.append(f"cells: {len(self.cells)} ({counts or 'none'})")
+        for cell in self.degraded:
+            first_line = (cell.error or "").strip().splitlines()
+            out.append(
+                f"degraded: {cell.cell_id} [{cell.status.value}]"
+                + (f" — {first_line[-1]}" if first_line else "")
+            )
+        return "\n".join(out)

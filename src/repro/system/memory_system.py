@@ -140,8 +140,18 @@ class MemorySystem:
         Prefetches still sitting unconsumed in the buffer are left
         uncounted, matching the paper's definition of a wasted prefetch
         (lost from the buffer before use) — the run simply ended.
+
+        When invariant checking is enabled (the experiment harness turns
+        it on in its workers; see :mod:`repro.harness.invariants`), the
+        final statistics are validated against the conservation laws
+        before being returned.
         """
         self.stats.timing = self.timing.finish()
+        from repro.harness.invariants import maybe_check_system
+
+        maybe_check_system(
+            self.stats, issue_rate=self.machine.timing.issue_rate
+        )
         return self.stats
 
     # ------------------------------------------------------------------

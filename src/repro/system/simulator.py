@@ -32,9 +32,17 @@ def simulate(
     and MCT; statistics and the cycle clock are then reset before the
     remaining references are measured (the stand-in for the paper's
     billion-instruction fast-forward).
+
+    ``warmup`` must leave at least one reference to measure: a run whose
+    entire trace is warmup would report all-zero statistics, and every
+    derived rate (IPC, speedup, hit rates) downstream would silently
+    divide by zero or read 0.0.
     """
-    if not 0 <= warmup <= len(trace):
-        raise ValueError(f"warmup {warmup} outside [0, {len(trace)}]")
+    if not 0 <= warmup < len(trace):
+        raise ValueError(
+            f"warmup {warmup} must lie in [0, {len(trace)}) so at least one "
+            f"of the trace's {len(trace)} references is measured"
+        )
     system = MemorySystem(policy, machine)
     access = system.access
     addresses = trace.addresses

@@ -11,6 +11,7 @@ from collections import OrderedDict
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.buffers import amb, exclusion, prefetch, victim
 from repro.buffers.assist import AssistBuffer, BufferEntry
 from repro.cache.fully_assoc import FullyAssociativeLRU
 from repro.cache.geometry import CacheGeometry
@@ -19,6 +20,11 @@ from repro.cache.set_assoc import SetAssociativeCache
 from repro.core.filters import ALL_FILTERS, ConflictFilter
 from repro.core.ground_truth import GroundTruthClassifier
 from repro.core.mct import MissClassificationTable
+from repro.harness import invariants
+from repro.harness.invariants import InvariantViolation, check_system_stats
+from repro.system.config import PAPER_MACHINE
+from repro.system.simulator import simulate
+from repro.workloads.trace import Trace
 
 # Small address universe so collisions are frequent.
 blocks = st.integers(min_value=0, max_value=63)
@@ -220,6 +226,127 @@ class TestAssistBufferProperties:
                 buf.remove(block)
         for block in buf.blocks():
             assert buf.peek(block) is not None
+
+
+#: Every named AssistConfig preset from the Section-5 figures/tables.
+ALL_PRESETS = (
+    victim.table1_policies()
+    + prefetch.figure4_policies()
+    + exclusion.figure5_policies()
+    + amb.figure6_policies()
+)
+
+#: Wider universe than ``blocks`` so references span several tags per set
+#: of the paper's 16KB L1 — conflict misses, evictions and buffer traffic
+#: all actually occur.
+sim_blocks = st.integers(min_value=0, max_value=1023)
+sim_block_lists = st.lists(sim_blocks, min_size=1, max_size=300)
+
+
+def _simulate_checked(refs, policy, warmup=0):
+    """Run a block-reference list with invariant checking forced on."""
+    trace = Trace([b * 64 for b in refs], name="prop")
+    invariants.set_enabled(True)
+    try:
+        # MemorySystem.finish() validates via the debug-flag hook; the
+        # explicit call below re-validates including the coupled laws.
+        stats = simulate(trace, policy, warmup=warmup)
+    finally:
+        invariants.set_enabled(None)
+    check_system_stats(
+        stats, issue_rate=PAPER_MACHINE.timing.issue_rate
+    )
+    return stats
+
+
+class TestInvariantProperties:
+    """Conservation laws hold across random traces for every preset."""
+
+    @pytest.mark.parametrize(
+        "policy", ALL_PRESETS, ids=[p.name.replace(" ", "_") for p in ALL_PRESETS]
+    )
+    @settings(max_examples=5, deadline=None)
+    @given(refs=sim_block_lists)
+    def test_presets_satisfy_conservation_laws(self, policy, refs):
+        _simulate_checked(refs, policy)
+
+    @settings(max_examples=10, deadline=None)
+    @given(refs=st.lists(sim_blocks, min_size=2, max_size=300))
+    def test_warmup_runs_satisfy_conservation_laws(self, refs):
+        _simulate_checked(refs, victim.filter_both(), warmup=len(refs) // 2)
+
+
+class TestInvariantChecker:
+    """Deliberately corrupted statistics must be rejected."""
+
+    def good_stats(self):
+        refs = [(i * 37) % 1024 for i in range(600)]
+        return _simulate_checked(refs, amb.vict_pref())
+
+    def check(self, stats):
+        check_system_stats(stats, issue_rate=PAPER_MACHINE.timing.issue_rate)
+
+    def test_good_stats_pass(self):
+        self.check(self.good_stats())
+
+    def test_hit_miss_conservation_violation(self):
+        stats = self.good_stats()
+        stats.l1.hits += 1
+        with pytest.raises(InvariantViolation, match="hits"):
+            self.check(stats)
+
+    def test_negative_counter_rejected(self):
+        stats = self.good_stats()
+        stats.l2.misses -= stats.l2.misses + 1
+        with pytest.raises(InvariantViolation, match="negative"):
+            self.check(stats)
+
+    def test_buffer_role_partition_violation(self):
+        stats = self.good_stats()
+        stats.buffer.victim_hits += 1
+        with pytest.raises(InvariantViolation, match="victim"):
+            self.check(stats)
+
+    def test_buffer_hits_bounded_by_probes(self):
+        stats = self.good_stats()
+        stats.buffer.probes = stats.buffer.hits - 1 if stats.buffer.hits else 0
+        stats.buffer.hits = stats.buffer.probes + 1
+        with pytest.raises(InvariantViolation, match="probes"):
+            self.check(stats)
+
+    def test_classification_partition_violation(self):
+        stats = self.good_stats()
+        stats.conflict_misses_predicted += 1
+        with pytest.raises(InvariantViolation, match="classified once"):
+            self.check(stats)
+
+    def test_cycle_accounting_closure_violation(self):
+        stats = self.good_stats()
+        stats.timing.stall_cycles += 100.0
+        with pytest.raises(InvariantViolation, match="does not close"):
+            self.check(stats)
+
+    def test_timing_refs_coupling_violation(self):
+        stats = self.good_stats()
+        stats.timing.memory_refs += 1
+        with pytest.raises(InvariantViolation):
+            self.check(stats)
+
+    def test_disabled_by_default_outside_harness(self):
+        stats = self.good_stats()
+        stats.l1.hits += 1  # corrupt — but the gated hook must not fire
+        invariants.set_enabled(None)
+        assert not invariants.check_enabled()
+        invariants.maybe_check_system(stats)
+
+    def test_env_flag_enables_checks(self, monkeypatch):
+        monkeypatch.setenv(invariants.ENV_FLAG, "1")
+        invariants.set_enabled(None)
+        assert invariants.check_enabled()
+        stats = self.good_stats()
+        stats.l1.hits += 1
+        with pytest.raises(InvariantViolation):
+            invariants.maybe_check_system(stats)
 
 
 class TestWorkloadProperties:

@@ -55,3 +55,40 @@ class TestCLI:
     def test_chart_flag_bad_column(self, capsys):
         rc = main(["table1", "--quick", "--chart", "nonexistent"])
         assert rc == 0  # chart errors are soft
+
+
+class TestUpfrontValidation:
+    """Bad inputs must fail before any experiment starts (satellite)."""
+
+    def test_bad_refs_warmup_pair_rejected_upfront(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--refs", "1000", "--warmup", "1000"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "warmup" in err
+        # Nothing ran: no table on stdout.
+        assert "Victim-cache" not in capsys.readouterr().out
+
+    def test_negative_refs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--refs", "-5"])
+        assert "n_refs" in capsys.readouterr().err
+
+    def test_unknown_experiment_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig1", "fig99"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        for name in ("fig1", "table1", "sec54"):
+            assert name in err
+
+    def test_unknown_suite_bench_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--suite", "gcc,nosuch"])
+        assert "nosuch" in capsys.readouterr().err
+
+    def test_bad_inject_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--inject-fault", "table1.main:explode"])
+        assert "fault" in capsys.readouterr().err

@@ -36,6 +36,17 @@ class TestSimulate:
         with pytest.raises(ValueError):
             simulate(t, BASELINE, warmup=2)
 
+    def test_warmup_consuming_whole_trace_rejected(self):
+        # Regression: warmup == len(trace) used to be accepted and
+        # produced an all-zero measurement (division hazards downstream).
+        t = trace([0x1000] * 8)
+        with pytest.raises(ValueError, match="at least one"):
+            simulate(t, BASELINE, warmup=len(t))
+        with pytest.raises(ValueError):
+            simulate(t, BASELINE, warmup=-1)
+        stats = simulate(t, BASELINE, warmup=len(t) - 1)
+        assert stats.l1.accesses == 1
+
     def test_deterministic(self):
         t = trace([0x1000 + (i * 2741) % 65536 for i in range(500)])
         a = simulate(t, victim.traditional())
