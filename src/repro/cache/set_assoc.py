@@ -14,7 +14,7 @@ allocation precisely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, NamedTuple, Optional
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.line import CacheLine, EvictedLine
@@ -44,6 +44,22 @@ class AccessResult:
     way: Optional[int]
     evicted: Optional[EvictedLine]
     set_index: int
+
+
+class FillResult(NamedTuple):
+    """Outcome of :meth:`SetAssociativeCache.fill`.
+
+    Attributes
+    ----------
+    way:
+        The way the incoming line was installed in.
+    evicted:
+        Snapshot of the displaced line, or None when the fill landed in
+        an invalid way.
+    """
+
+    way: int
+    evicted: Optional[EvictedLine]
 
 
 class SetAssociativeCache:
@@ -98,8 +114,9 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     def probe(self, addr: int) -> bool:
         """True when ``addr`` is resident.  No state is changed."""
-        tag = self.geometry.tag(addr)
-        for line in self._sets[self.geometry.set_index(addr)]:
+        geometry = self.geometry
+        tag = geometry.tag(addr)
+        for line in self._sets[geometry.set_index(addr)]:
             if line.valid and line.tag == tag:
                 return True
         return False
@@ -147,11 +164,11 @@ class SetAssociativeCache:
         result = self.lookup(addr, write=write)
         if result.hit:
             return result
-        evicted = self.fill(addr, dirty=write)
+        filled = self.fill(addr, dirty=write)
         return AccessResult(
             hit=False,
-            way=self.find_way(addr),
-            evicted=evicted,
+            way=filled.way,
+            evicted=filled.evicted,
             set_index=result.set_index,
         )
 
@@ -162,17 +179,19 @@ class SetAssociativeCache:
         counter.  The caller decides whether/where to allocate.
         """
         now = self._tick()
-        index = self.geometry.set_index(addr)
-        tag = self.geometry.tag(addr)
-        self.stats.accesses += 1
+        geometry = self.geometry
+        stats = self.stats
+        index = geometry.set_index(addr)
+        tag = geometry.tag(addr)
+        stats.accesses += 1
         for way, line in enumerate(self._sets[index]):
             if line.valid and line.tag == tag:
                 line.touch(now)
                 if write:
                     line.dirty = True
-                self.stats.hits += 1
+                stats.hits += 1
                 return AccessResult(hit=True, way=way, evicted=None, set_index=index)
-        self.stats.misses += 1
+        stats.misses += 1
         return AccessResult(hit=False, way=None, evicted=None, set_index=index)
 
     def fill(
@@ -181,12 +200,14 @@ class SetAssociativeCache:
         *,
         conflict_bit: bool = False,
         dirty: bool = False,
-    ) -> Optional[EvictedLine]:
+    ) -> FillResult:
         """Install the line holding ``addr``, evicting per policy.
 
-        Returns the evicted line's snapshot (None when an invalid way
-        absorbed the fill).  Fires the ``on_evict`` hook and counts a
-        writeback for dirty victims.
+        Returns a :class:`FillResult` carrying the way that received the
+        line and the evicted line's snapshot (None when an invalid way
+        absorbed the fill), so callers never need to re-scan the set to
+        locate the line they just installed.  Fires the ``on_evict`` hook
+        and counts a writeback for dirty victims.
 
         Filling an address that is already resident is a programming error
         and raises ``ValueError`` — it would create a duplicate tag.
@@ -212,7 +233,7 @@ class SetAssociativeCache:
             self.geometry.tag(addr), now, conflict_bit=conflict_bit, dirty=dirty
         )
         self.stats.fills += 1
-        return evicted
+        return FillResult(way=way, evicted=evicted)
 
     def invalidate(self, addr: int) -> Optional[EvictedLine]:
         """Remove ``addr`` if resident; returns its snapshot.

@@ -14,6 +14,8 @@ an extra row.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.buffers.victim import figure3_policies, no_victim_cache, traditional
 from repro.experiments._speedups import speedup_table
 from repro.experiments.base import (
@@ -47,6 +49,22 @@ def run(params: ExperimentParams = DEFAULT_PARAMS) -> ExperimentResult:
         "'vs V cache' row: average speedup renormalised to the traditional "
         "victim cache (the paper's ~1.03 for the combined policy)."
     )
+    return result
+
+
+def run_shard(params: ExperimentParams, bench: str) -> ExperimentResult:
+    """One benchmark's slice of the Figure-3 (benchmark × policy) grid.
+
+    The ``fig3sweep`` cell family exposes the grid to the harness one
+    benchmark per cell, so ``--jobs N`` can spread the sweep over cores
+    (and a crash or timeout costs one benchmark, not the whole figure).
+    The ``--suite`` restriction is superseded by the shard's own
+    benchmark.  Each shard's table carries the same columns as the
+    aggregated ``fig3`` table; its AVERAGE row degenerates to the single
+    benchmark.
+    """
+    result = run(replace(params, suite=[bench]))
+    result.experiment_id = f"fig3[{bench}]"
     return result
 
 

@@ -9,15 +9,18 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments all --run-dir out/ --timeout 600 --strict
     repro-experiments all --run-dir out/ --resume      # skip finished cells
     repro-experiments --resume out/ all                # same thing
+    repro-experiments all --jobs 4                     # 4 cells at a time
 
 Every experiment is routed through :mod:`repro.harness`: each
 (experiment, variant) *cell* runs in its own worker process with an
 optional timeout, failures are retried with exponential backoff, and —
 when ``--run-dir`` is given — each completed cell's table is persisted as
 a schema-versioned JSON artifact so an interrupted campaign can be
-resumed without recomputing anything.  A structured per-cell report is
-printed at the end (and saved as ``report.json``); ``--strict`` turns any
-degraded cell into a non-zero exit for CI.
+resumed without recomputing anything.  ``--jobs N`` (default: CPU count)
+supervises up to N cells concurrently without weakening any of those
+guarantees.  A structured per-cell report is printed at the end (and
+saved as ``report.json``); ``--strict`` turns any degraded cell into a
+non-zero exit for CI.
 
 Each experiment prints an ASCII table matching the corresponding table or
 figure of the paper; see EXPERIMENTS.md for the committed results and the
@@ -27,11 +30,13 @@ paper-vs-measured comparison.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.base import ExperimentParams, ExperimentResult, format_result
 from repro.harness.cells import (
+    SHARDED_EXPERIMENTS,
     VARIANTS,
     CellSpec,
     FaultInjection,
@@ -105,6 +110,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     harness = parser.add_argument_group("harness (fault tolerance)")
     harness.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="supervise up to N cells concurrently "
+        "(default: CPU count; forced to 1 by --no-isolate)",
+    )
+    harness.add_argument(
         "--run-dir",
         default=None,
         metavar="DIR",
@@ -166,7 +179,9 @@ def _validate_names(
 ) -> List[str]:
     """Expand 'all' and reject unknown names before anything runs."""
     if "all" in requested:
-        return known_experiments()
+        # Sharded sweep families re-cut an aggregated experiment; 'all'
+        # runs the aggregated form only (both would compute the grid twice).
+        return [n for n in known_experiments() if n not in SHARDED_EXPERIMENTS]
     unknown = [name for name in requested if name not in VARIANTS]
     if unknown:
         parser.error(
@@ -265,6 +280,11 @@ def main(argv: List[str] | None = None) -> int:
         except CheckpointError as exc:
             parser.error(str(exc))
 
+    jobs = args.jobs
+    if jobs is None:
+        # Parallel dispatch needs isolated workers, so --no-isolate runs
+        # stay serial unless the user explicitly (and fatally) asks.
+        jobs = 1 if args.no_isolate else (os.cpu_count() or 1)
     try:
         config = HarnessConfig(
             timeout_s=args.timeout,
@@ -273,6 +293,7 @@ def main(argv: List[str] | None = None) -> int:
             isolate=not args.no_isolate,
             check_invariants=not args.no_invariants,
             strict=args.strict,
+            jobs=jobs,
         )
     except ValueError as exc:
         parser.error(f"invalid harness options: {exc}")

@@ -1,0 +1,253 @@
+"""Performance benchmark harness: the ``BENCH_sweep.json`` artifact.
+
+Measures the two numbers every scaling PR must not regress:
+
+* **single-cell throughput** — references simulated per second by one
+  :func:`repro.system.simulator.simulate` call (the per-reference hot
+  loop, free of harness overhead);
+* **sweep wall-clock** — a full ``fig3sweep`` campaign (one cell per
+  Section-5 benchmark) executed at ``--jobs 1`` and ``--jobs N``, which
+  measures the parallel scheduler's scaling and cross-checks that both
+  modes produce byte-identical checkpoint artifacts and identical cell
+  statuses.
+
+The result is written as a small schema-versioned JSON artifact
+(``BENCH_sweep.json`` by convention) that CI uploads per commit, forming
+a throughput trajectory over the repo's history.  ``--check-against``
+compares the measured single-cell throughput with a committed baseline
+and exits non-zero on a regression beyond ``--max-regression`` — the
+guard-rail for hot-path changes.
+
+Usage::
+
+    python -m repro.harness.bench --out BENCH_sweep.json
+    python -m repro.harness.bench --refs 20000 --jobs 4 \
+        --check-against benchmarks/BENCH_baseline.json --max-regression 0.3
+    python -m repro.harness.bench --skip-sweep      # hot loop only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.base import ExperimentParams
+from repro.harness.cells import expand_cells
+from repro.harness.checkpoint import RunDirectory
+from repro.harness.executor import HarnessConfig, run_cells
+from repro.system.policies import BASELINE
+from repro.system.simulator import simulate
+from repro.workloads.spec_analogs import build
+
+#: Version of the BENCH artifact layout; bump on incompatible change.
+BENCH_SCHEMA = 1
+
+#: Benchmark the single-cell probe simulates (an irregular C analog with
+#: a realistic hit/miss mix, so the measurement exercises both paths).
+SINGLE_CELL_BENCH = "gcc"
+
+
+def measure_single_cell(
+    refs: int, warmup: int, seed: int, repeats: int = 3
+) -> Dict[str, object]:
+    """Time one trace through one policy; report the best of ``repeats``.
+
+    The best (not mean) run is the right summary for a regression gate:
+    scheduling noise only ever slows a run down, so the fastest repeat is
+    the closest estimate of the code's true cost.
+    """
+    trace = build(SINGLE_CELL_BENCH, refs, seed)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulate(trace, BASELINE, warmup=warmup)
+        best = min(best, time.perf_counter() - started)
+    return {
+        "bench": SINGLE_CELL_BENCH,
+        "policy": BASELINE.name,
+        "refs": refs,
+        "warmup": warmup,
+        "repeats": repeats,
+        "seconds": round(best, 4),
+        "refs_per_sec": round(refs / best, 1),
+    }
+
+
+def _timed_sweep(
+    params: ExperimentParams, jobs: int, run_dir: RunDirectory
+) -> Dict[str, object]:
+    run_dir.prepare(params, resume=False)
+    cells = expand_cells(["fig3sweep"])
+    started = time.perf_counter()
+    report = run_cells(cells, params, HarnessConfig(jobs=jobs), run_dir=run_dir)
+    wall_clock = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "cells": len(cells),
+        "wall_clock_s": round(wall_clock, 3),
+        "statuses": {c.cell_id: c.status.value for c in report.cells},
+        "ok": report.ok,
+    }
+
+
+def measure_sweep(
+    refs: int, warmup: int, seed: int, jobs: int, scratch: Path
+) -> Dict[str, object]:
+    """Run the fig3sweep campaign serially and at ``jobs``; compare them.
+
+    Returns wall-clock for both modes plus the equivalence checks the
+    scheduler guarantees: identical per-cell statuses and byte-identical
+    checkpoint artifacts regardless of dispatch order.
+    """
+    params = ExperimentParams(n_refs=refs, warmup=warmup, seed=seed)
+    serial_dir = RunDirectory(scratch / "jobs1")
+    parallel_dir = RunDirectory(scratch / f"jobs{jobs}")
+    serial = _timed_sweep(params, 1, serial_dir)
+    parallel = _timed_sweep(params, jobs, parallel_dir)
+
+    artifacts_identical = all(
+        serial_dir.cell_path(spec.cell_id).read_bytes()
+        == parallel_dir.cell_path(spec.cell_id).read_bytes()
+        for spec in expand_cells(["fig3sweep"])
+    )
+    speedup = (
+        serial["wall_clock_s"] / parallel["wall_clock_s"]
+        if parallel["wall_clock_s"]
+        else 0.0
+    )
+    return {
+        "experiment": "fig3sweep",
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(speedup, 3),
+        "statuses_identical": serial["statuses"] == parallel["statuses"],
+        "artifacts_identical": artifacts_identical,
+    }
+
+
+def check_regression(
+    payload: Dict[str, object], baseline_path: Path, max_regression: float
+) -> Optional[str]:
+    """Error text when throughput regressed beyond the allowance, else None."""
+    baseline = json.loads(baseline_path.read_text())
+    floor = float(baseline["single_cell"]["refs_per_sec"]) * (1.0 - max_regression)
+    measured = float(payload["single_cell"]["refs_per_sec"])  # type: ignore[index]
+    if measured < floor:
+        return (
+            f"single-cell throughput regressed: {measured:.0f} refs/sec < "
+            f"{floor:.0f} (baseline {baseline['single_cell']['refs_per_sec']} "
+            f"- {max_regression:.0%} allowance)"
+        )
+    return None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.bench",
+        description="Measure hot-loop throughput and sweep scaling; "
+        "emit the BENCH_sweep.json trajectory artifact.",
+    )
+    parser.add_argument("--refs", type=int, default=60_000, help="trace length")
+    parser.add_argument("--warmup", type=int, default=20_000, help="warmup refs")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel width for the sweep comparison (default: CPU count)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_sweep.json",
+        metavar="FILE",
+        help="where to write the artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skip-sweep",
+        action="store_true",
+        help="measure only the single-cell hot loop (fast smoke)",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE",
+        help="compare single-cell refs/sec against this committed artifact",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="FRACTION",
+        help="allowed single-cell slowdown vs baseline (default: 0.30)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.refs <= 0 or not 0 <= args.warmup < args.refs:
+        print("bench: need refs > 0 and 0 <= warmup < refs", file=sys.stderr)
+        return 2
+    if not 0 <= args.max_regression < 1:
+        print("bench: --max-regression must be in [0, 1)", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        print("bench: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "single_cell": measure_single_cell(args.refs, args.warmup, args.seed),
+    }
+    if not args.skip_sweep:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+            payload["sweep"] = measure_sweep(
+                args.refs, args.warmup, args.seed, jobs, Path(scratch)
+            )
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    single = payload["single_cell"]
+    print(
+        f"[bench] single-cell: {single['refs_per_sec']} refs/sec "  # type: ignore[index]
+        f"({single['refs']} refs, best of {single['repeats']})"  # type: ignore[index]
+    )
+    if "sweep" in payload:
+        sweep = payload["sweep"]
+        print(
+            f"[bench] fig3sweep: jobs=1 {sweep['serial']['wall_clock_s']}s, "  # type: ignore[index]
+            f"jobs={sweep['parallel']['jobs']} "  # type: ignore[index]
+            f"{sweep['parallel']['wall_clock_s']}s "  # type: ignore[index]
+            f"(speedup {sweep['speedup']}x, "  # type: ignore[index]
+            f"artifacts identical: {sweep['artifacts_identical']})"  # type: ignore[index]
+        )
+        if not (sweep["statuses_identical"] and sweep["artifacts_identical"]):  # type: ignore[index]
+            print("[bench] ERROR: jobs=1 and jobs=N runs disagree", file=sys.stderr)
+            return 1
+    print(f"[bench] artifact written to {out}")
+
+    if args.check_against:
+        error = check_regression(payload, Path(args.check_against), args.max_regression)
+        if error:
+            print(f"[bench] FAIL: {error}", file=sys.stderr)
+            return 1
+        print(f"[bench] throughput within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

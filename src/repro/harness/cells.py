@@ -39,6 +39,7 @@ from repro.experiments import (
     table1_victim,
 )
 from repro.experiments.base import ExperimentParams, ExperimentResult
+from repro.workloads.spec_analogs import EVAL_SUITE
 
 RunVariant = Callable[[ExperimentParams], ExperimentResult]
 
@@ -57,6 +58,13 @@ def _fig7_8(p: ExperimentParams) -> ExperimentResult:
 
 def _fig7_16(p: ExperimentParams) -> ExperimentResult:
     return fig7_amb_hits.run(p, 16)
+
+
+def _fig3_shard(bench: str) -> RunVariant:
+    def run(p: ExperimentParams) -> ExperimentResult:
+        return fig3_victim.run_shard(p, bench)
+
+    return run
 
 
 #: Experiment -> ordered {variant key -> runner}.  Variant order fixes
@@ -81,7 +89,16 @@ VARIANTS: Dict[str, Dict[str, RunVariant]] = {
     # Extensions beyond the paper's figures (§5.6, measured here):
     "sec56": {"main": sec56_multithreaded.run},
     "assoc": {"main": assoc_sweep.run},
+    # Sharded form of the Figure-3 sweep: one cell per benchmark, so the
+    # --jobs scheduler can spread the (benchmark × policy) grid over
+    # cores.  Not part of 'all' — it duplicates fig3.main's work.
+    "fig3sweep": {bench: _fig3_shard(bench) for bench in EVAL_SUITE},
 }
+
+#: Sharded sweep families: per-benchmark re-cuts of an aggregated
+#: experiment, addressable explicitly but excluded from 'all' expansion
+#: (running both forms would compute the same grid twice).
+SHARDED_EXPERIMENTS = frozenset({"fig3sweep"})
 
 
 @dataclass(frozen=True)

@@ -14,14 +14,24 @@ same amounts — the harness introduces no nondeterminism of its own.
 Results cross the process boundary as the same schema-versioned dicts the
 checkpoint layer persists, so what ``--resume`` reloads is byte-for-byte
 what a live worker would have produced.
+
+With ``jobs > 1`` the scheduler dispatches up to that many cells
+concurrently: each supervisor thread drives one isolated worker process
+through the exact same attempt/timeout/retry/checkpoint state machine as
+a serial run.  Artifact bytes are per-cell deterministic and the final
+report lists cells in spec order regardless of completion order, so the
+only observable difference between ``jobs=1`` and ``jobs=N`` is
+wall-clock time (and the interleaving of progress callbacks).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import random
+import threading
 import time
 import traceback
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -44,6 +54,11 @@ class HarnessConfig:
     runs cells in-process (no timeout protection — crash isolation and
     hang killing need a worker process) and exists for debugging and for
     environments where fork/spawn is unavailable.
+
+    ``jobs`` is the number of cells supervised concurrently.  Parallel
+    dispatch needs worker-process isolation (an in-process cell would
+    share and corrupt the global invariant flag, and cannot be killed),
+    so ``jobs > 1`` with ``isolate=False`` is rejected.
     """
 
     timeout_s: Optional[float] = None
@@ -54,6 +69,7 @@ class HarnessConfig:
     isolate: bool = True
     check_invariants: bool = True
     strict: bool = False
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -62,6 +78,10 @@ class HarnessConfig:
             raise ValueError("retries must be >= 0")
         if self.backoff_s < 0 or self.backoff_factor < 1 or self.jitter < 0:
             raise ValueError("backoff must be >= 0, factor >= 1, jitter >= 0")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.jobs > 1 and not self.isolate:
+            raise ValueError("jobs > 1 requires worker isolation (isolate=True)")
 
 
 def backoff_delay(
@@ -75,6 +95,16 @@ def backoff_delay(
 
 def _start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+#: Serialises worker start and reap across scheduler threads.  CPython's
+#: ``Process.start()`` reaps *every* finished child of the process
+#: (``util._cleanup`` polls them all), so with ``jobs > 1`` another
+#: thread's start() can win the ``os.waitpid`` race against this thread's
+#: join()/close(); the loser's poll sees ECHILD, reports the child as
+#: "still running", and close() raises.  Holding one lock around both
+#: sections makes every waitpid on a given pid exclusive.
+_proc_lifecycle_lock = threading.Lock()
 
 
 # ----------------------------------------------------------------------
@@ -122,27 +152,38 @@ def _attempt_isolated(
         daemon=True,
         name=f"repro-cell-{spec.cell_id}",
     )
-    proc.start()
+    with _proc_lifecycle_lock:
+        proc.start()
     child_conn.close()
+    timed_out = False
+    payload = None
     try:
         if not parent_conn.poll(config.timeout_s):
+            timed_out = True
             proc.terminate()
+        else:
+            try:
+                payload = parent_conn.recv()
+            except EOFError:
+                payload = None
+    finally:
+        # Reap and release the worker on *every* exit path — a killed or
+        # crashed Process left unjoined is a zombie, and an unclosed one
+        # leaks its sentinel fd, which adds up over a --jobs sweep.
+        parent_conn.close()
+        with _proc_lifecycle_lock:
             proc.join(5)
             if proc.is_alive():  # pragma: no cover - SIGTERM ignored
                 proc.kill()
                 proc.join()
-            return (_TIMEOUT, None,
-                    f"no result within {config.timeout_s}s; worker killed")
-        try:
-            payload = parent_conn.recv()
-        except EOFError:
-            payload = None
-    finally:
-        parent_conn.close()
-    proc.join(5)
+            exitcode = proc.exitcode
+            proc.close()
+    if timed_out:
+        return (_TIMEOUT, None,
+                f"no result within {config.timeout_s}s; worker killed")
     if payload is None:
         return (_ERROR, None,
-                f"worker died with exit code {proc.exitcode} before "
+                f"worker died with exit code {exitcode} before "
                 "producing a result")
     if payload.get("ok"):
         return (_OK, ExperimentResult.from_dict(payload["result"]), None)
@@ -175,6 +216,63 @@ def _attempt_inline(
 # ----------------------------------------------------------------------
 # The supervised run
 # ----------------------------------------------------------------------
+def _supervise_cell(
+    spec: CellSpec,
+    params: ExperimentParams,
+    config: HarnessConfig,
+    attempt_fn: Callable,
+    run_dir: Optional[RunDirectory],
+    resume: bool,
+    inject: Optional[FaultInjection],
+) -> Tuple[CellReport, Optional[ExperimentResult]]:
+    """Drive one cell through resume-check, attempts, retries, checkpoint.
+
+    This is the complete per-cell state machine; the serial and parallel
+    schedulers differ only in how many of these run at once.
+    """
+    cached = run_dir.load_cell(spec.cell_id) if (run_dir and resume) else None
+    if cached is not None:
+        return (
+            CellReport(spec.cell_id, CellStatus.SKIPPED, attempts=0, seed=params.seed),
+            cached,
+        )
+
+    started = time.perf_counter()
+    result: Optional[ExperimentResult] = None
+    last_kind, last_error = _ERROR, None
+    attempts = 0
+    error: Optional[str] = None
+    for attempt in range(1, config.retries + 2):
+        attempts = attempt
+        kind, result, error = attempt_fn(spec, params, config, inject, attempt)
+        if kind == _OK:
+            break
+        last_kind, last_error = kind, error
+        if attempt <= config.retries:
+            time.sleep(backoff_delay(config, spec.cell_id, attempt, params.seed))
+    duration = time.perf_counter() - started
+
+    if result is not None:
+        status = CellStatus.OK if attempts == 1 else CellStatus.RETRIED
+        if run_dir is not None:
+            run_dir.save_cell(spec.cell_id, result)
+        error = None
+    else:
+        status = CellStatus.TIMEOUT if last_kind == _TIMEOUT else CellStatus.FAILED
+        error = last_error
+    return (
+        CellReport(
+            spec.cell_id,
+            status,
+            attempts=attempts,
+            duration_s=duration,
+            seed=params.seed,
+            error=error,
+        ),
+        result,
+    )
+
+
 def run_cells(
     specs: List[CellSpec],
     params: ExperimentParams,
@@ -188,57 +286,52 @@ def run_cells(
     """Run every cell under supervision; returns the structured report.
 
     Completed cells checkpoint immediately (when ``run_dir`` is given), so
-    a crash of the *harness itself* loses at most the in-flight cell.  On
+    a crash of the *harness itself* loses at most the in-flight cells.  On
     ``resume=True`` cells whose artifact already exists are reloaded and
     reported SKIPPED without re-running.
+
+    ``config.jobs > 1`` supervises that many cells concurrently, each in
+    its own worker process, without changing any per-cell guarantee: the
+    report always lists cells in ``specs`` order, and checkpoint artifact
+    bytes are identical to a serial run.  ``on_cell`` then fires in
+    completion order (serialised — never concurrently).
     """
     report = RunReport(params=params.to_dict())
     attempt_fn = _attempt_isolated if config.isolate else _attempt_inline
-    for spec in specs:
-        cached = run_dir.load_cell(spec.cell_id) if (run_dir and resume) else None
-        if cached is not None:
-            cell_report = CellReport(
-                spec.cell_id, CellStatus.SKIPPED, attempts=0, seed=params.seed
-            )
+
+    def supervise(spec: CellSpec) -> Tuple[CellReport, Optional[ExperimentResult]]:
+        return _supervise_cell(
+            spec, params, config, attempt_fn, run_dir, resume, inject
+        )
+
+    if config.jobs > 1 and len(specs) > 1:
+        cell_reports: List[Optional[CellReport]] = [None] * len(specs)
+        callback_lock = threading.Lock()
+
+        def supervise_at(index: int) -> None:
+            spec = specs[index]
+            cell_report, result = supervise(spec)
+            cell_reports[index] = cell_report
+            if on_cell:
+                with callback_lock:
+                    on_cell(spec, cell_report, result)
+
+        max_workers = min(config.jobs, len(specs))
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-sched"
+        ) as pool:
+            futures = [pool.submit(supervise_at, i) for i in range(len(specs))]
+            for future in as_completed(futures):
+                future.result()  # propagate scheduler bugs immediately
+        for cell_report in cell_reports:
+            assert cell_report is not None
+            report.add(cell_report)
+    else:
+        for spec in specs:
+            cell_report, result = supervise(spec)
             report.add(cell_report)
             if on_cell:
-                on_cell(spec, cell_report, cached)
-            continue
-
-        started = time.perf_counter()
-        result: Optional[ExperimentResult] = None
-        last_kind, last_error = _ERROR, None
-        attempts = 0
-        for attempt in range(1, config.retries + 2):
-            attempts = attempt
-            kind, result, error = attempt_fn(spec, params, config, inject, attempt)
-            if kind == _OK:
-                break
-            last_kind, last_error = kind, error
-            if attempt <= config.retries:
-                time.sleep(backoff_delay(config, spec.cell_id, attempt, params.seed))
-        duration = time.perf_counter() - started
-
-        if result is not None:
-            status = CellStatus.OK if attempts == 1 else CellStatus.RETRIED
-            if run_dir is not None:
-                run_dir.save_cell(spec.cell_id, result)
-            error = None
-        else:
-            status = (CellStatus.TIMEOUT if last_kind == _TIMEOUT
-                      else CellStatus.FAILED)
-            error = last_error
-        cell_report = CellReport(
-            spec.cell_id,
-            status,
-            attempts=attempts,
-            duration_s=duration,
-            seed=params.seed,
-            error=error,
-        )
-        report.add(cell_report)
-        if on_cell:
-            on_cell(spec, cell_report, result)
+                on_cell(spec, cell_report, result)
 
     if run_dir is not None:
         run_dir.save_report(report.to_dict())

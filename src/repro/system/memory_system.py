@@ -80,33 +80,42 @@ class MemorySystem:
         elif policy.exclusion is ExclusionMode.CONFLICT_HISTORY:
             self.history = MissHistoryTable(MissClass.CONFLICT)
 
+        # Bound-method fast paths for :meth:`access`, the per-reference
+        # hot loop: none of these collaborators is ever reassigned, so the
+        # attribute chains are resolved once here instead of per access.
+        self._timing_step = self.timing.step
+        self._l1_lookup = self.l1.lookup
+        self._mct_classify = self.mct.classify
+        self._l1_block_number = self.machine.l1.block_number
+        self._buffer_probe = self.buffer.probe if self.buffer is not None else None
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def access(self, addr: int, *, is_load: bool = True, gap: int = 3) -> None:
         """Simulate one data reference."""
-        timing = self.timing
-        timing.step(gap)
+        self._timing_step(gap)
         if self.mat is not None:
             self.mat.record_access(addr)
 
-        outcome = self.l1.lookup(addr, write=not is_load)
+        outcome = self._l1_lookup(addr, write=not is_load)
         if outcome.hit:
             return
 
         # Classify the miss before this miss's own fill perturbs the MCT.
-        miss_class = self.mct.classify(addr)
+        miss_class = self._mct_classify(addr)
         is_conflict = miss_class.is_conflict
+        stats = self.stats
         if is_conflict:
-            self.stats.conflict_misses_predicted += 1
+            stats.conflict_misses_predicted += 1
         else:
-            self.stats.capacity_misses_predicted += 1
+            stats.capacity_misses_predicted += 1
         if self.history is not None:
             self.history.record_miss(addr, miss_class)
 
-        if self.buffer is not None:
-            block = self.machine.l1.block_number(addr)
-            entry = self.buffer.probe(block)
+        probe = self._buffer_probe
+        if probe is not None:
+            entry = probe(self._l1_block_number(addr))
             if entry is not None:
                 self._buffer_hit(addr, entry, is_conflict, is_load)
                 return
@@ -213,7 +222,9 @@ class MemorySystem:
         self.timing.occupy_buffer(t.swap_busy_cycles)
 
         self.buffer.remove(entry.block)
-        evicted = self.l1.fill(addr, conflict_bit=entry.conflict_bit, dirty=entry.dirty)
+        evicted = self.l1.fill(
+            addr, conflict_bit=entry.conflict_bit, dirty=entry.dirty
+        ).evicted
         if evicted is not None:
             self._insert_buffer_line(addr, evicted, BufferRole.VICTIM)
 
@@ -224,7 +235,7 @@ class MemorySystem:
         self.buffer.remove(entry.block)
         if self.l1.probe(addr):  # pragma: no cover - defensive; cannot both miss and hold
             return
-        evicted = self.l1.fill(addr, conflict_bit=is_conflict, dirty=entry.dirty)
+        evicted = self.l1.fill(addr, conflict_bit=is_conflict, dirty=entry.dirty).evicted
         self._maybe_victim_fill(addr, evicted, is_conflict)
 
     # ------------------------------------------------------------------
@@ -239,7 +250,9 @@ class MemorySystem:
             evicted_bit = False
             evicted = None
         else:
-            evicted = self.l1.fill(addr, conflict_bit=is_conflict, dirty=not is_load)
+            evicted = self.l1.fill(
+                addr, conflict_bit=is_conflict, dirty=not is_load
+            ).evicted
             evicted_bit = evicted.conflict_bit if evicted is not None else False
             self._maybe_victim_fill(addr, evicted, is_conflict)
 

@@ -45,15 +45,18 @@ def simulate(
         )
     system = MemorySystem(policy, machine)
     access = system.access
-    addresses = trace.addresses
-    is_load = trace.is_load
-    gaps = trace.gaps
-    for i in range(warmup):
-        access(int(addresses[i]), is_load=bool(is_load[i]), gap=int(gaps[i]))
+    # Convert the trace's numpy arrays to native lists once: indexing a
+    # numpy array boxes a fresh scalar object per element, which costs
+    # more than the cache lookup it feeds on short references.
+    addresses = trace.addresses.tolist()
+    is_load = trace.is_load.tolist()
+    gaps = trace.gaps.tolist()
+    for addr, load, gap in zip(addresses[:warmup], is_load[:warmup], gaps[:warmup]):
+        access(addr, is_load=load, gap=gap)
     if warmup:
         system.reset_measurement()
-    for i in range(warmup, len(addresses)):
-        access(int(addresses[i]), is_load=bool(is_load[i]), gap=int(gaps[i]))
+    for addr, load, gap in zip(addresses[warmup:], is_load[warmup:], gaps[warmup:]):
+        access(addr, is_load=load, gap=gap)
     return system.finish()
 
 

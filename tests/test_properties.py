@@ -126,7 +126,7 @@ class TestMCTProperties:
                 predicted = mct.classify_is_conflict(addr)
                 expected = model.get(GEO.set_index(addr)) == GEO.tag(addr)
                 assert predicted == expected
-                evicted = cache.fill(addr)
+                evicted = cache.fill(addr).evicted
                 if evicted is not None:
                     model[GEO.set_index(addr)] = evicted.tag
 
@@ -143,7 +143,7 @@ class TestMCTProperties:
             if not out.hit:
                 if full.classify_is_conflict(addr):
                     assert part.classify_is_conflict(addr)
-                evicted = cache.fill(addr)
+                evicted = cache.fill(addr).evicted
                 if evicted is not None:
                     full.on_evict(GEO.set_index(addr), evicted)
                     part.on_evict(GEO.set_index(addr), evicted)

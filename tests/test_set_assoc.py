@@ -110,9 +110,29 @@ class TestFillAndLookup:
         c.access(0x1000)
         c.access(0x1000 + s)
         preview = c.victim_preview(0x1000 + 2 * s)
-        evicted = c.fill(0x1000 + 2 * s)
+        evicted = c.fill(0x1000 + 2 * s).evicted
         assert preview is not None and evicted is not None
         assert preview.tag == evicted.tag
+
+    def test_fill_returns_the_filled_way(self, tiny2way):
+        c = SetAssociativeCache(tiny2way)
+        s = tiny2way.size
+        for addr in (0x1000, 0x1000 + s, 0x1000 + 2 * s):
+            filled = c.fill(addr)
+            assert filled.way == c.find_way(addr)
+        # The third fill displaced the LRU line; the snapshot rides along.
+        assert c.fill(0x1000 + 3 * s).evicted is not None
+
+    def test_access_way_reports_the_filled_way(self, tiny2way):
+        """Regression: access() must report the way fill() chose without
+        re-scanning the set (the way has to match find_way's answer)."""
+        c = SetAssociativeCache(tiny2way)
+        s = tiny2way.size
+        for addr in (0x2000, 0x2000 + s, 0x2000 + 2 * s, 0x2000 + 3 * s):
+            out = c.access(addr)
+            assert not out.hit
+            assert out.way == c.find_way(addr)
+            assert out.way is not None
 
     def test_victim_preview_none_when_set_has_room(self, tiny):
         c = SetAssociativeCache(tiny)

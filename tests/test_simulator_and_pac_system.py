@@ -54,6 +54,41 @@ class TestSimulate:
         assert a.timing.cycles == b.timing.cycles
         assert a.l1.hits == b.l1.hits
 
+    @pytest.mark.parametrize("warmup", [0, 500])
+    def test_matches_boxed_reference_loop(self, warmup):
+        """Regression: the tolist() hot loop must be observably identical
+        to the old per-reference numpy-scalar-boxing loop — the stats are
+        compared through their serialized (byte) form."""
+        import json
+
+        from repro.system.memory_system import MemorySystem
+
+        n = 2_000
+        t = trace(
+            [0x1000 + (i * 2741) % 65536 for i in range(n)],
+            is_load=[i % 3 != 0 for i in range(n)],
+            gaps=[i % 7 for i in range(n)],
+        )
+        for policy in (BASELINE, victim.traditional()):
+            fast = simulate(t, policy, warmup=warmup)
+            system = MemorySystem(policy, PAPER_MACHINE)
+            addresses, is_load, gaps = t.addresses, t.is_load, t.gaps
+            for i in range(warmup):
+                system.access(
+                    int(addresses[i]), is_load=bool(is_load[i]), gap=int(gaps[i])
+                )
+            if warmup:
+                system.reset_measurement()
+            for i in range(warmup, n):
+                system.access(
+                    int(addresses[i]), is_load=bool(is_load[i]), gap=int(gaps[i])
+                )
+            reference = system.finish()
+            assert (
+                json.dumps(fast.as_dict(), sort_keys=True).encode()
+                == json.dumps(reference.as_dict(), sort_keys=True).encode()
+            )
+
     def test_simulate_policies_runs_each(self):
         t = trace([0x1000, 0x2000] * 5)
         out = simulate_policies(t, victim.table1_policies())
