@@ -96,6 +96,16 @@ class BufferStats:
         for f in fields(self):
             setattr(self, f.name, 0)
 
+    def merge(self, other: "BufferStats") -> None:
+        """Accumulate another stats object into this one.
+
+        Used by multi-thread / multi-shard rollups; iterating
+        :func:`~dataclasses.fields` means a newly added counter can never
+        be silently dropped from an aggregate.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
 
 @dataclass
 class ClassificationStats:
@@ -150,6 +160,10 @@ class ClassificationStats:
             else:
                 self.capacity_as_capacity += 1
 
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
     def merge(self, other: "ClassificationStats") -> None:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
@@ -172,6 +186,20 @@ class TimingStats:
     @property
     def cpi(self) -> float:
         return self.cycles / self.instructions if self.instructions else 0.0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, type(getattr(self, f.name))(0))
+
+    def merge(self, other: "TimingStats") -> None:
+        """Accumulate another timing run into this one.
+
+        Cycles and stalls sum, so the merged IPC/CPI is the throughput of
+        the combined runs — the right convention when rolling up
+        per-thread or per-shard runs executed back to back.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 @dataclass
@@ -199,10 +227,36 @@ class SystemStats:
         """Misses not covered by L1 or the assist buffer, in percent."""
         return 100.0 - self.total_hit_rate
 
+    def reset(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if hasattr(value, "reset"):
+                value.reset()
+            else:
+                setattr(self, f.name, 0)
+
+    def merge(self, other: "SystemStats") -> None:
+        """Accumulate another run's statistics into this one.
+
+        Intended for multi-thread / multi-shard rollups: merged stats no
+        longer satisfy the single-run coupling laws (pass
+        ``coupled=False`` to the invariant checker), but every per-object
+        law still holds and no counter is dropped.
+        """
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if hasattr(value, "merge"):
+                value.merge(getattr(other, f.name))
+            else:
+                setattr(self, f.name, value + getattr(other, f.name))
+
     def as_dict(self) -> Dict[str, object]:
         """Nested plain-dict snapshot of every counter.
 
         Used by the invariant checker's diagnostics and by debug dumps;
         contains raw counters only (derived rates are properties).
+        It is also the counter schema of the observability layer: the
+        ``counters`` events in ``events.jsonl`` are flattened deltas of
+        exactly this structure (see :mod:`repro.obs.metrics`).
         """
         return asdict(self)

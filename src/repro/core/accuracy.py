@@ -16,7 +16,7 @@ The paper's grouping is honoured: compulsory misses count as capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional
 
 from repro.cache.geometry import CacheGeometry
@@ -24,6 +24,7 @@ from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.stats import CacheStats, ClassificationStats
 from repro.core.ground_truth import GroundTruthClassifier
 from repro.core.mct import MissClassificationTable
+from repro.obs.heartbeat import sim_ticker
 
 
 @dataclass
@@ -59,6 +60,21 @@ class AccuracyResult:
         return 100.0 * self.classification.true_conflicts / total if total else 0.0
 
 
+def _accuracy_counters(result: AccuracyResult) -> dict:
+    """Counter snapshot of an accuracy run, in the obs metrics shape.
+
+    ``result.cache`` is only populated after the final merge, so
+    mid-run deltas carry the classification counters and the closing
+    delta carries the cache counters — the replay still reconciles
+    exactly against the final snapshot.
+    """
+    return {
+        "classification": asdict(result.classification),
+        "cache": asdict(result.cache),
+        "compulsory_misses": result.compulsory_misses,
+    }
+
+
 def measure_accuracy(
     addresses: Iterable[int],
     geometry: CacheGeometry,
@@ -87,6 +103,17 @@ def measure_accuracy(
     oracle = GroundTruthClassifier(geometry)
     result = AccuracyResult(geometry=geometry, tag_bits=tag_bits)
 
+    ticker = sim_ticker(
+        bench="accuracy",
+        policy=f"mct[{'full' if tag_bits is None else tag_bits}b]",
+        refs=len(addresses) if hasattr(addresses, "__len__") else None,
+        warmup=0,
+    )
+    if ticker is not None:
+        ticker.begin()
+    every = ticker.every if ticker is not None else 0
+    processed = 0
+
     for addr in addresses:
         outcome = cache.lookup(addr)
         if not outcome.hit:
@@ -102,8 +129,25 @@ def measure_accuracy(
                 result.compulsory_misses += 1
             cache.fill(addr)
         oracle.observe(addr)
+        if every:
+            processed += 1
+            if processed % every == 0:
+                # Accuracy-so-far over the references seen to this point.
+                ticker.tick(
+                    processed,
+                    _accuracy_counters(result),
+                    overall_accuracy=round(result.overall_accuracy, 4),
+                    conflict_accuracy=round(result.conflict_accuracy, 4),
+                    capacity_accuracy=round(result.capacity_accuracy, 4),
+                    miss_rate=round(cache.stats.miss_rate, 4),
+                )
 
     result.cache.merge(cache.stats)
+    if ticker is not None:
+        ticker.finish(
+            processed if every else cache.stats.accesses,
+            _accuracy_counters(result),
+        )
     # Harness debug flag: validate that misses partition exactly into
     # conflict + capacity (compulsory inside capacity) before the numbers
     # can reach any table.

@@ -23,7 +23,19 @@ def run_policies_over_suite(
     suite: Sequence[str],
     machine: MachineConfig = PAPER_MACHINE,
 ) -> Dict[str, Dict[str, SystemStats]]:
-    """stats[bench][policy_name] for every (benchmark, policy) pair."""
+    """stats[bench][policy_name] for every (benchmark, policy) pair.
+
+    Policy names must be unique — the per-benchmark dict is keyed by
+    name, and a duplicate would silently drop one policy's column from
+    every table built on top of this.
+    """
+    names = [p.name for p in policies]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate policy name(s) {', '.join(map(repr, duplicates))}: "
+            "results are keyed by name (use AssistConfig.renamed())"
+        )
     out: Dict[str, Dict[str, SystemStats]] = {}
     for name in suite:
         trace = build(name, params.n_refs, params.seed)
@@ -51,7 +63,20 @@ def speedup_table(
         headers=["bench"] + [p.name for p in policies],
         paper_reference=paper_reference,
     )
-    stats = run_policies_over_suite([baseline] + list(policies), params, suite, machine)
+    # Some figures show the baseline as its own bar (Figure 5's 'no
+    # buffer'); don't simulate it a second time when it is already in
+    # the policy list — but a *different* config hiding behind the
+    # baseline's name would make every speedup wrong, so reject that.
+    run_list = list(policies)
+    if baseline.name in {p.name for p in run_list}:
+        if not any(p == baseline for p in run_list):
+            raise ValueError(
+                f"policy named {baseline.name!r} differs from the baseline "
+                "config of the same name"
+            )
+    else:
+        run_list = [baseline] + run_list
+    stats = run_policies_over_suite(run_list, params, suite, machine)
     sums = {p.name: 0.0 for p in policies}
     for bench in suite:
         base = stats[bench][baseline.name]

@@ -10,6 +10,7 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments all --run-dir out/ --resume      # skip finished cells
     repro-experiments --resume out/ all                # same thing
     repro-experiments all --jobs 4                     # 4 cells at a time
+    repro-experiments all --run-dir out/ --metrics --trace --heartbeat-every 5000
 
 Every experiment is routed through :mod:`repro.harness`: each
 (experiment, variant) *cell* runs in its own worker process with an
@@ -47,6 +48,7 @@ from repro.harness.cells import (
 from repro.harness.checkpoint import CheckpointError, RunDirectory
 from repro.harness.executor import HarnessConfig, run_cells
 from repro.harness.report import CellReport, CellStatus
+from repro.obs.config import ObsConfig
 
 RunFn = Callable[[ExperimentParams], List[ExperimentResult]]
 
@@ -171,6 +173,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=argparse.SUPPRESS,  # <cell_id>:<fail|hang|flaky[:N]> (testing)
     )
+    obs = parser.add_argument_group("observability (off by default)")
+    obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="write schema-versioned metrics events to RUN_DIR/events.jsonl "
+        "(requires --run-dir)",
+    )
+    obs.add_argument(
+        "--trace",
+        action="store_true",
+        help="record tracing spans per cell attempt/retry/checkpoint into "
+        "report.json (and events.jsonl when --metrics is also on)",
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each cell attempt into RUN_DIR/profiles/*.prof "
+        "(requires --run-dir)",
+    )
+    obs.add_argument(
+        "--heartbeat-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="emit a simulation heartbeat event every N measured references "
+        "(requires --metrics; 0 disables heartbeats)",
+    )
     return parser
 
 
@@ -280,6 +309,34 @@ def main(argv: List[str] | None = None) -> int:
         except CheckpointError as exc:
             parser.error(str(exc))
 
+    if args.metrics and run_dir is None:
+        parser.error("--metrics needs --run-dir (events.jsonl lives there)")
+    if args.profile and run_dir is None:
+        parser.error("--profile needs --run-dir (profiles/ lives there)")
+    if args.heartbeat_every and not args.metrics:
+        parser.error("--heartbeat-every needs --metrics (heartbeats are events)")
+    if args.heartbeat_every < 0:
+        parser.error("--heartbeat-every must be >= 0")
+
+    obs_config = None
+    if args.metrics or args.trace or args.profile:
+        events_path = None
+        if args.metrics:
+            events_path = str(run_dir.path / "events.jsonl")
+            if not resume:
+                # A fresh (non-resume) run starts a fresh event stream;
+                # a resumed run appends so the log covers the whole campaign.
+                try:
+                    os.unlink(events_path)
+                except FileNotFoundError:
+                    pass
+        obs_config = ObsConfig(
+            events_path=events_path,
+            trace=args.trace,
+            profile_dir=str(run_dir.path / "profiles") if args.profile else None,
+            heartbeat_every=args.heartbeat_every,
+        )
+
     jobs = args.jobs
     if jobs is None:
         # Parallel dispatch needs isolated workers, so --no-isolate runs
@@ -306,11 +363,14 @@ def main(argv: List[str] | None = None) -> int:
         resume=resume,
         inject=inject,
         on_cell=_make_cell_printer(args.chart),
+        obs_config=obs_config,
     )
 
     print(report.format_table())
     if run_dir is not None:
         print(f"[report saved to {run_dir.report_path}]", file=sys.stderr)
+        if obs_config is not None and obs_config.metrics:
+            print(f"[metrics events in {obs_config.events_path}]", file=sys.stderr)
     return report.exit_code(args.strict)
 
 

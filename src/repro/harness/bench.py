@@ -42,6 +42,7 @@ from repro.experiments.base import ExperimentParams
 from repro.harness.cells import expand_cells
 from repro.harness.checkpoint import RunDirectory
 from repro.harness.executor import HarnessConfig, run_cells
+from repro.obs.spans import NULL_TRACER, Tracer
 from repro.system.policies import BASELINE
 from repro.system.simulator import simulate
 from repro.workloads.spec_analogs import build
@@ -55,7 +56,7 @@ SINGLE_CELL_BENCH = "gcc"
 
 
 def measure_single_cell(
-    refs: int, warmup: int, seed: int, repeats: int = 3
+    refs: int, warmup: int, seed: int, repeats: int = 3, tracer: Tracer = NULL_TRACER
 ) -> Dict[str, object]:
     """Time one trace through one policy; report the best of ``repeats``.
 
@@ -65,10 +66,13 @@ def measure_single_cell(
     """
     trace = build(SINGLE_CELL_BENCH, refs, seed)
     best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        simulate(trace, BASELINE, warmup=warmup)
-        best = min(best, time.perf_counter() - started)
+    for repeat in range(1, repeats + 1):
+        with tracer.span("bench.iteration", repeat=repeat) as span:
+            started = time.perf_counter()
+            simulate(trace, BASELINE, warmup=warmup)
+            elapsed = time.perf_counter() - started
+            span.set(seconds=round(elapsed, 4))
+        best = min(best, elapsed)
     return {
         "bench": SINGLE_CELL_BENCH,
         "policy": BASELINE.name,
@@ -98,7 +102,12 @@ def _timed_sweep(
 
 
 def measure_sweep(
-    refs: int, warmup: int, seed: int, jobs: int, scratch: Path
+    refs: int,
+    warmup: int,
+    seed: int,
+    jobs: int,
+    scratch: Path,
+    tracer: Tracer = NULL_TRACER,
 ) -> Dict[str, object]:
     """Run the fig3sweep campaign serially and at ``jobs``; compare them.
 
@@ -109,8 +118,10 @@ def measure_sweep(
     params = ExperimentParams(n_refs=refs, warmup=warmup, seed=seed)
     serial_dir = RunDirectory(scratch / "jobs1")
     parallel_dir = RunDirectory(scratch / f"jobs{jobs}")
-    serial = _timed_sweep(params, 1, serial_dir)
-    parallel = _timed_sweep(params, jobs, parallel_dir)
+    with tracer.span("bench.sweep", jobs=1):
+        serial = _timed_sweep(params, 1, serial_dir)
+    with tracer.span("bench.sweep", jobs=jobs):
+        parallel = _timed_sweep(params, jobs, parallel_dir)
 
     artifacts_identical = all(
         serial_dir.cell_path(spec.cell_id).read_bytes()
@@ -188,6 +199,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="allowed single-cell slowdown vs baseline (default: 0.30)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a tracing span per bench iteration/sweep into the artifact",
+    )
     return parser
 
 
@@ -204,6 +220,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("bench: --jobs must be >= 1", file=sys.stderr)
         return 2
 
+    tracer = Tracer("bench") if args.trace else NULL_TRACER
     payload: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "machine": {
@@ -211,13 +228,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
-        "single_cell": measure_single_cell(args.refs, args.warmup, args.seed),
+        "single_cell": measure_single_cell(
+            args.refs, args.warmup, args.seed, tracer=tracer
+        ),
     }
     if not args.skip_sweep:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
             payload["sweep"] = measure_sweep(
-                args.refs, args.warmup, args.seed, jobs, Path(scratch)
+                args.refs, args.warmup, args.seed, jobs, Path(scratch), tracer=tracer
             )
+    if args.trace:
+        payload["spans"] = tracer.to_dicts()
 
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

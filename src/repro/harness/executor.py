@@ -40,6 +40,11 @@ from repro.harness import invariants
 from repro.harness.cells import CellSpec, FaultInjection, maybe_inject, run_cell
 from repro.harness.checkpoint import RunDirectory
 from repro.harness.report import CellReport, CellStatus, RunReport
+from repro.obs import events as obs_events
+from repro.obs.config import ObsConfig
+from repro.obs.events import EventLog
+from repro.obs.profiler import maybe_profile
+from repro.obs.spans import NULL_TRACER, Tracer
 
 #: Called after every cell with its report and result (None when degraded).
 CellCallback = Callable[[CellSpec, CellReport, Optional[ExperimentResult]], None]
@@ -120,13 +125,20 @@ def _worker(
     inject: Optional[FaultInjection],
     attempt: int,
     check_invariants: bool,
+    obs_config: Optional[ObsConfig],
 ) -> None:
     """Run one cell and ship its result (or traceback) over the pipe."""
     try:
         if check_invariants:
             invariants.set_enabled(True)
+        if obs_config is not None:
+            # Metrics events append to the shared events.jsonl; every
+            # line carries this cell's id (and pid), so concurrent
+            # workers interleave without ambiguity.
+            obs_events.activate(obs_config, cell=spec.cell_id)
         maybe_inject(spec, inject, attempt)
-        result = run_cell(spec, params)
+        with maybe_profile(obs_config, spec.cell_id, attempt):
+            result = run_cell(spec, params)
         conn.send({"ok": True, "result": result.to_dict()})
     except BaseException:
         try:
@@ -143,12 +155,21 @@ def _attempt_isolated(
     config: HarnessConfig,
     inject: Optional[FaultInjection],
     attempt: int,
+    obs_config: Optional[ObsConfig] = None,
 ) -> Tuple[str, Optional[ExperimentResult], Optional[str]]:
     ctx = multiprocessing.get_context(_start_method())
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
         target=_worker,
-        args=(child_conn, spec, params, inject, attempt, config.check_invariants),
+        args=(
+            child_conn,
+            spec,
+            params,
+            inject,
+            attempt,
+            config.check_invariants,
+            obs_config,
+        ),
         daemon=True,
         name=f"repro-cell-{spec.cell_id}",
     )
@@ -196,21 +217,28 @@ def _attempt_inline(
     config: HarnessConfig,
     inject: Optional[FaultInjection],
     attempt: int,
+    obs_config: Optional[ObsConfig] = None,
 ) -> Tuple[str, Optional[ExperimentResult], Optional[str]]:
     previous = invariants._enabled
+    obs_state = obs_events.snapshot_state()
     try:
         if config.check_invariants:
             invariants.set_enabled(True)
+        if obs_config is not None:
+            obs_events.activate(obs_config, cell=spec.cell_id)
         maybe_inject(spec, inject, attempt)
         # Round-trip through the artifact schema even inline, so both
         # execution modes return exactly what a resume would reload.
-        return (_OK,
-                ExperimentResult.from_dict(run_cell(spec, params).to_dict()),
-                None)
+        with maybe_profile(obs_config, spec.cell_id, attempt):
+            result = run_cell(spec, params)
+        return (_OK, ExperimentResult.from_dict(result.to_dict()), None)
     except Exception:
         return (_ERROR, None, traceback.format_exc())
     finally:
         invariants.set_enabled(previous)
+        if obs_config is not None:
+            obs_events.deactivate()
+            obs_events.restore_state(obs_state)
 
 
 # ----------------------------------------------------------------------
@@ -224,12 +252,49 @@ def _supervise_cell(
     run_dir: Optional[RunDirectory],
     resume: bool,
     inject: Optional[FaultInjection],
+    obs_config: Optional[ObsConfig] = None,
+    event_log: Optional[EventLog] = None,
 ) -> Tuple[CellReport, Optional[ExperimentResult]]:
     """Drive one cell through resume-check, attempts, retries, checkpoint.
 
     This is the complete per-cell state machine; the serial and parallel
-    schedulers differ only in how many of these run at once.
+    schedulers differ only in how many of these run at once.  When
+    tracing is on, the whole supervision is a root ``cell`` span with
+    child spans per attempt, retry backoff and checkpoint write —
+    attached to the :class:`CellReport` (for ``report.json``) and, when
+    metrics are also on, forwarded as ``span`` events.
     """
+    trace_on = obs_config is not None and obs_config.trace
+    tracer = (
+        Tracer(
+            spec.cell_id,
+            on_finish=event_log.emit_span if event_log is not None else None,
+        )
+        if trace_on
+        else NULL_TRACER
+    )
+    with tracer.span("cell", cell=spec.cell_id) as cell_span:
+        report, result = _drive_cell(
+            spec, params, config, attempt_fn, run_dir, resume, inject,
+            obs_config, tracer,
+        )
+        cell_span.set(status=report.status.value, attempts=report.attempts)
+    if trace_on:
+        report.spans = tracer.to_dicts()
+    return report, result
+
+
+def _drive_cell(
+    spec: CellSpec,
+    params: ExperimentParams,
+    config: HarnessConfig,
+    attempt_fn: Callable,
+    run_dir: Optional[RunDirectory],
+    resume: bool,
+    inject: Optional[FaultInjection],
+    obs_config: Optional[ObsConfig],
+    tracer,
+) -> Tuple[CellReport, Optional[ExperimentResult]]:
     cached = run_dir.load_cell(spec.cell_id) if (run_dir and resume) else None
     if cached is not None:
         return (
@@ -244,18 +309,25 @@ def _supervise_cell(
     error: Optional[str] = None
     for attempt in range(1, config.retries + 2):
         attempts = attempt
-        kind, result, error = attempt_fn(spec, params, config, inject, attempt)
+        with tracer.span("attempt", attempt=attempt) as attempt_span:
+            kind, result, error = attempt_fn(
+                spec, params, config, inject, attempt, obs_config
+            )
+            attempt_span.set(outcome=kind)
         if kind == _OK:
             break
         last_kind, last_error = kind, error
         if attempt <= config.retries:
-            time.sleep(backoff_delay(config, spec.cell_id, attempt, params.seed))
+            delay = backoff_delay(config, spec.cell_id, attempt, params.seed)
+            with tracer.span("backoff", attempt=attempt, delay_s=round(delay, 3)):
+                time.sleep(delay)
     duration = time.perf_counter() - started
 
     if result is not None:
         status = CellStatus.OK if attempts == 1 else CellStatus.RETRIED
         if run_dir is not None:
-            run_dir.save_cell(spec.cell_id, result)
+            with tracer.span("checkpoint"):
+                run_dir.save_cell(spec.cell_id, result)
         error = None
     else:
         status = CellStatus.TIMEOUT if last_kind == _TIMEOUT else CellStatus.FAILED
@@ -282,6 +354,7 @@ def run_cells(
     resume: bool = False,
     inject: Optional[FaultInjection] = None,
     on_cell: Optional[CellCallback] = None,
+    obs_config: Optional[ObsConfig] = None,
 ) -> RunReport:
     """Run every cell under supervision; returns the structured report.
 
@@ -295,43 +368,70 @@ def run_cells(
     report always lists cells in ``specs`` order, and checkpoint artifact
     bytes are identical to a serial run.  ``on_cell`` then fires in
     completion order (serialised — never concurrently).
+
+    ``obs_config`` switches on the observability layer: metrics events
+    (``run_start``/``run_end`` from the supervisor here, simulation
+    heartbeats and counter deltas from inside the workers), tracing
+    spans, and/or per-attempt cProfile dumps.  ``None`` (the default)
+    keeps every obs code path dormant.
     """
     report = RunReport(params=params.to_dict())
     attempt_fn = _attempt_isolated if config.isolate else _attempt_inline
+    event_log: Optional[EventLog] = None
+    if obs_config is not None and obs_config.metrics:
+        event_log = EventLog(obs_config.events_path)
+        event_log.emit(
+            "run_start",
+            params=params.to_dict(),
+            cells=[s.cell_id for s in specs],
+            jobs=config.jobs,
+        )
 
     def supervise(spec: CellSpec) -> Tuple[CellReport, Optional[ExperimentResult]]:
         return _supervise_cell(
-            spec, params, config, attempt_fn, run_dir, resume, inject
+            spec, params, config, attempt_fn, run_dir, resume, inject,
+            obs_config, event_log,
         )
 
-    if config.jobs > 1 and len(specs) > 1:
-        cell_reports: List[Optional[CellReport]] = [None] * len(specs)
-        callback_lock = threading.Lock()
+    try:
+        if config.jobs > 1 and len(specs) > 1:
+            cell_reports: List[Optional[CellReport]] = [None] * len(specs)
+            callback_lock = threading.Lock()
 
-        def supervise_at(index: int) -> None:
-            spec = specs[index]
-            cell_report, result = supervise(spec)
-            cell_reports[index] = cell_report
-            if on_cell:
-                with callback_lock:
+            def supervise_at(index: int) -> None:
+                spec = specs[index]
+                cell_report, result = supervise(spec)
+                cell_reports[index] = cell_report
+                if on_cell:
+                    with callback_lock:
+                        on_cell(spec, cell_report, result)
+
+            max_workers = min(config.jobs, len(specs))
+            with ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-sched"
+            ) as pool:
+                futures = [pool.submit(supervise_at, i) for i in range(len(specs))]
+                for future in as_completed(futures):
+                    future.result()  # propagate scheduler bugs immediately
+            for cell_report in cell_reports:
+                assert cell_report is not None
+                report.add(cell_report)
+        else:
+            for spec in specs:
+                cell_report, result = supervise(spec)
+                report.add(cell_report)
+                if on_cell:
                     on_cell(spec, cell_report, result)
 
-        max_workers = min(config.jobs, len(specs))
-        with ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-sched"
-        ) as pool:
-            futures = [pool.submit(supervise_at, i) for i in range(len(specs))]
-            for future in as_completed(futures):
-                future.result()  # propagate scheduler bugs immediately
-        for cell_report in cell_reports:
-            assert cell_report is not None
-            report.add(cell_report)
-    else:
-        for spec in specs:
-            cell_report, result = supervise(spec)
-            report.add(cell_report)
-            if on_cell:
-                on_cell(spec, cell_report, result)
+        if event_log is not None:
+            event_log.emit(
+                "run_end",
+                summary=report.to_dict()["summary"],
+                ok=report.ok,
+            )
+    finally:
+        if event_log is not None:
+            event_log.close()
 
     if run_dir is not None:
         run_dir.save_report(report.to_dict())

@@ -39,7 +39,13 @@ class CellStatus(Enum):
 
 @dataclass
 class CellReport:
-    """Outcome of one supervised cell."""
+    """Outcome of one supervised cell.
+
+    ``spans`` (present only when the run traced) holds the cell's
+    finished tracing spans — the root ``cell`` span plus one per
+    attempt, retry backoff and checkpoint write — as the JSON-ready
+    dicts of :meth:`repro.obs.spans.Span.to_dict`.
+    """
 
     cell_id: str
     status: CellStatus
@@ -47,6 +53,7 @@ class CellReport:
     duration_s: float = 0.0
     seed: int = 0
     error: Optional[str] = None
+    spans: Optional[List[Dict[str, object]]] = None
 
     def to_dict(self) -> Dict[str, object]:
         d: Dict[str, object] = {
@@ -58,6 +65,8 @@ class CellReport:
         }
         if self.error:
             d["error"] = self.error
+        if self.spans is not None:
+            d["spans"] = self.spans
         return d
 
 

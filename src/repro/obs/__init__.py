@@ -1,0 +1,59 @@
+"""Zero-dependency observability: metrics events, spans, heartbeats,
+profiles.
+
+The subsystem turns a parallel harness campaign from a black box into an
+inspectable artifact trail, all stdlib-only and off by default:
+
+* :mod:`repro.obs.events` — schema-versioned JSON-lines event emission
+  (``events.jsonl`` per run directory) plus the per-process activation
+  switch the hot paths consult;
+* :mod:`repro.obs.metrics` — counter flattening/deltas and the replay
+  reconciliation that ties the event stream back to the final
+  :class:`~repro.cache.stats.SystemStats` exactly;
+* :mod:`repro.obs.spans` — tracing spans around cell attempts, retries,
+  checkpoint writes and bench iterations, surfaced in ``report.json``;
+* :mod:`repro.obs.heartbeat` — per-simulation progress events (refs/sec,
+  running hit rate, classification mix) every N measured references;
+* :mod:`repro.obs.profiler` — opt-in cProfile dumps per cell attempt;
+* :mod:`repro.obs.validate` — the ``python -m repro.obs.validate`` CLI
+  CI uses to schema-check and reconcile emitted streams.
+
+Disabled (the default), the only cost on a simulation is one global
+``None`` check per :func:`~repro.system.simulator.simulate` call — the
+per-reference loop is untouched.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES, EventLog, activate, deactivate
+from repro.obs.heartbeat import SimTicker, sim_ticker
+from repro.obs.metrics import (
+    accumulate_deltas,
+    diff_counters,
+    flatten_counters,
+    reconcile,
+    unflatten_counters,
+)
+from repro.obs.profiler import maybe_profile, profile_path
+from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "EventLog",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsConfig",
+    "SimTicker",
+    "Span",
+    "Tracer",
+    "accumulate_deltas",
+    "activate",
+    "deactivate",
+    "diff_counters",
+    "flatten_counters",
+    "maybe_profile",
+    "profile_path",
+    "reconcile",
+    "sim_ticker",
+    "unflatten_counters",
+]

@@ -1,0 +1,53 @@
+"""Observability configuration shared by the CLI, harness and workers.
+
+One frozen :class:`ObsConfig` describes everything a run wants observed.
+It crosses the process boundary into harness workers (plain picklable
+dataclass), so a forked or spawned cell worker activates exactly the
+telemetry the supervising CLI asked for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Which telemetry a run emits, and where it goes.
+
+    ``events_path``
+        Destination of the JSON-lines event stream (``events.jsonl`` in
+        the run directory).  ``None`` disables metrics events entirely.
+    ``trace``
+        Collect tracing spans (cell attempts, retries, checkpoint
+        writes) into ``report.json`` — and into the event stream when
+        ``events_path`` is also set.
+    ``profile_dir``
+        Directory for per-cell-attempt cProfile dumps (``*.prof``);
+        ``None`` disables profiling.
+    ``heartbeat_every``
+        With metrics enabled, emit a heartbeat + counter-delta event
+        every N measured references inside each simulation.  ``0``
+        disables heartbeats (a single counter delta is still emitted at
+        simulation end, so event replay always reconciles).
+    """
+
+    events_path: Optional[str] = None
+    trace: bool = False
+    profile_dir: Optional[str] = None
+    heartbeat_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_every < 0:
+            raise ValueError("heartbeat_every must be >= 0")
+
+    @property
+    def metrics(self) -> bool:
+        """Whether the event stream is enabled."""
+        return self.events_path is not None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any telemetry at all is requested."""
+        return self.metrics or self.trace or self.profile_dir is not None

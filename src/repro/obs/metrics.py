@@ -1,0 +1,100 @@
+"""Counter flattening, deltas and replay reconciliation.
+
+The observability layer ships counters as *flattened* dicts — nested
+statistics dataclasses (via ``as_dict()``) become dotted keys::
+
+    {"l1": {"hits": 3}, "memory_accesses": 1}
+        -> {"l1.hits": 3, "memory_accesses": 1}
+
+``counters`` events carry *deltas* between successive snapshots (zero
+entries dropped, so heartbeat-cadence events stay small), and the
+``sim_end`` event carries the complete final snapshot.  Summing a
+simulation's deltas must reproduce the final snapshot exactly; integer
+counters sum exactly, and the float timing counters only ever change in
+the final delta (the timing model publishes them at ``finish()``), so
+the reconciliation is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Union
+
+Number = Union[int, float]
+
+
+def flatten_counters(nested: Mapping[str, object], prefix: str = "") -> Dict[str, Number]:
+    """Nested dict-of-numbers -> flat dotted-key dict (sorted keys)."""
+    out: Dict[str, Number] = {}
+    for key in sorted(nested):
+        value = nested[key]
+        dotted = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            out.update(flatten_counters(value, f"{dotted}."))
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(
+                f"counter {dotted!r} is {type(value).__name__}, not a number"
+            )
+        else:
+            out[dotted] = value
+    return out
+
+
+def unflatten_counters(flat: Mapping[str, Number]) -> Dict[str, object]:
+    """Inverse of :func:`flatten_counters`."""
+    out: Dict[str, object] = {}
+    for dotted, value in flat.items():
+        node = out
+        parts = dotted.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})  # type: ignore[assignment]
+            if not isinstance(node, dict):
+                raise ValueError(f"key {dotted!r} conflicts with a scalar parent")
+        node[parts[-1]] = value
+    return out
+
+
+def diff_counters(
+    current: Mapping[str, Number], previous: Mapping[str, Number]
+) -> Dict[str, Number]:
+    """Per-key ``current - previous``; zero deltas are omitted.
+
+    A key absent from ``previous`` counts as 0 there, so the first delta
+    of a simulation is simply its first snapshot.
+    """
+    out: Dict[str, Number] = {}
+    for key, value in current.items():
+        delta = value - previous.get(key, 0)
+        if delta != 0:
+            out[key] = delta
+    return out
+
+
+def accumulate_deltas(deltas: Iterable[Mapping[str, Number]]) -> Dict[str, Number]:
+    """Sum a sequence of delta dicts into one absolute snapshot."""
+    out: Dict[str, Number] = {}
+    for delta in deltas:
+        for key, value in delta.items():
+            out[key] = out.get(key, 0) + value
+    return out
+
+
+def reconcile(
+    deltas: Iterable[Mapping[str, Number]], final: Mapping[str, Number]
+) -> List[str]:
+    """Mismatch descriptions between replayed deltas and a final snapshot.
+
+    Empty list means the replay reproduces ``final`` exactly.  Keys whose
+    final value is zero may be absent from every delta; that is still a
+    match (deltas drop zero entries).
+    """
+    replayed = accumulate_deltas(deltas)
+    problems: List[str] = []
+    for key in sorted(final):
+        expected = final[key]
+        got = replayed.pop(key, 0)
+        if got != expected:
+            problems.append(f"{key}: replayed {got!r} != final {expected!r}")
+    for key, got in sorted(replayed.items()):
+        if got != 0:
+            problems.append(f"{key}: replayed {got!r} but absent from final")
+    return problems

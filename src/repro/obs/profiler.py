@@ -1,0 +1,55 @@
+"""Opt-in cProfile hook for harness cells.
+
+With ``--profile`` each cell *attempt* runs under :mod:`cProfile` and
+dumps a binary profile artifact next to the run's other outputs::
+
+    <run-dir>/profiles/<cell_id>.attempt<N>.prof
+
+Inspect with the standard library::
+
+    python -m pstats out/profiles/fig3sweep.gcc.attempt1.prof
+
+Profiling is per-attempt (a retried cell leaves one artifact per try)
+and happens inside the worker process, so the supervisor's bookkeeping
+never pollutes a cell's profile.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from contextlib import contextmanager, nullcontext
+from pathlib import Path
+from typing import ContextManager, Iterator, Optional
+
+from repro.obs.config import ObsConfig
+
+
+def _safe_name(cell_id: str) -> str:
+    # Mirrors the checkpoint layer's artifact-name sanitisation.
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in cell_id)
+
+
+def profile_path(profile_dir: "Path | str", cell_id: str, attempt: int) -> Path:
+    return Path(profile_dir) / f"{_safe_name(cell_id)}.attempt{attempt}.prof"
+
+
+@contextmanager
+def profile_to(path: Path) -> Iterator[None]:
+    """Run the body under cProfile and dump stats to ``path``."""
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        profile.dump_stats(str(path))
+
+
+def maybe_profile(
+    config: Optional[ObsConfig], cell_id: str, attempt: int
+) -> ContextManager[None]:
+    """Profiling context for one cell attempt; a no-op when disabled."""
+    if config is None or config.profile_dir is None:
+        return nullcontext()
+    return profile_to(profile_path(config.profile_dir, cell_id, attempt))

@@ -1,0 +1,150 @@
+"""Validate (and reconcile) an ``events.jsonl`` stream.
+
+Usage::
+
+    python -m repro.obs.validate out/events.jsonl
+    python -m repro.obs.validate out/events.jsonl --reconcile
+
+Validation checks every line parses, carries the supported ``schema``
+version, a known ``type`` and that type's required fields.
+``--reconcile`` additionally replays each simulation's ``counters``
+deltas and requires the sum to reproduce the ``sim_end`` final snapshot
+*exactly* — the property the whole metrics layer is built around.  CI
+runs both on every ``--metrics`` sweep; exit status is non-zero on any
+violation, with one line per problem on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES
+from repro.obs.metrics import reconcile
+
+#: Fields each event type must carry (beyond schema/type/ts/pid).
+REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "run_start": ("params", "cells", "jobs"),
+    "run_end": ("summary", "ok"),
+    "span": ("name", "span_id", "parent_id", "start_ts", "end_ts", "duration_s"),
+    "sim_start": ("sim", "bench", "policy", "refs", "warmup"),
+    "heartbeat": ("sim", "refs_done", "refs_per_sec"),
+    "counters": ("sim", "delta"),
+    "sim_end": ("sim", "refs", "wall_s", "final"),
+}
+
+
+def validate_lines(lines: Iterable[str]) -> Tuple[List[dict], List[str]]:
+    """Parse and schema-check event lines; returns (events, problems)."""
+    events: List[dict] = []
+    problems: List[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"line {lineno}: event is not an object")
+            continue
+        if event.get("schema") != EVENT_SCHEMA:
+            problems.append(
+                f"line {lineno}: schema {event.get('schema')!r} != {EVENT_SCHEMA}"
+            )
+            continue
+        etype = event.get("type")
+        if etype not in EVENT_TYPES:
+            problems.append(f"line {lineno}: unknown event type {etype!r}")
+            continue
+        missing = [f for f in REQUIRED_FIELDS[etype] if f not in event]
+        if missing:
+            problems.append(
+                f"line {lineno}: {etype} event missing field(s) "
+                f"{', '.join(missing)}"
+            )
+            continue
+        events.append(event)
+    return events, problems
+
+
+def reconcile_events(events: Iterable[dict]) -> Tuple[int, List[str]]:
+    """Replay every simulation's deltas against its final snapshot.
+
+    Returns (simulations checked, problems).  A ``counters`` or
+    ``sim_end`` event for a sim with no ``sim_start``, or a sim that
+    never ends, is reported too — a truncated stream should not validate
+    silently.
+    """
+    started: Dict[str, dict] = {}
+    deltas: Dict[str, List[dict]] = defaultdict(list)
+    finals: Dict[str, dict] = {}
+    problems: List[str] = []
+    for event in events:
+        etype = event.get("type")
+        if etype == "sim_start":
+            started[event["sim"]] = event
+        elif etype == "counters":
+            deltas[event["sim"]].append(event["delta"])
+        elif etype == "sim_end":
+            finals[event["sim"]] = event["final"]
+    for sim in sorted(set(deltas) | set(finals)):
+        if sim not in started:
+            problems.append(f"sim {sim}: counters/sim_end without sim_start")
+    for sim, final in sorted(finals.items()):
+        for problem in reconcile(deltas.get(sim, []), final):
+            problems.append(f"sim {sim}: {problem}")
+    for sim in sorted(set(started) - set(finals)):
+        problems.append(f"sim {sim}: sim_start without sim_end (truncated run?)")
+    return len(finals), problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Schema-validate an events.jsonl stream; optionally "
+        "replay counter deltas against each simulation's final snapshot.",
+    )
+    parser.add_argument("events", metavar="EVENTS_JSONL", help="path to events.jsonl")
+    parser.add_argument(
+        "--reconcile",
+        action="store_true",
+        help="also require per-sim counter deltas to sum to the final snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.events)
+    if not path.is_file():
+        print(f"validate: no such file: {path}", file=sys.stderr)
+        return 2
+
+    events, problems = validate_lines(path.read_text().splitlines())
+    sims_checked = 0
+    if args.reconcile and not problems:
+        sims_checked, reconcile_problems = reconcile_events(events)
+        problems.extend(reconcile_problems)
+
+    for problem in problems:
+        print(f"validate: {problem}", file=sys.stderr)
+    if problems:
+        print(f"validate: FAIL ({len(problems)} problem(s))", file=sys.stderr)
+        return 1
+
+    by_type = Counter(e["type"] for e in events)
+    summary = ", ".join(f"{t}={n}" for t, n in sorted(by_type.items()))
+    print(f"validate: OK — {len(events)} events ({summary or 'empty'})", end="")
+    if args.reconcile:
+        print(f"; {sims_checked} sim(s) reconciled exactly")
+    else:
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

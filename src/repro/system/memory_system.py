@@ -143,6 +143,29 @@ class MemorySystem:
         self.stats.conflict_misses_predicted = 0
         self.stats.capacity_misses_predicted = 0
 
+    def heartbeat_snapshot(self) -> dict:
+        """Running-rate fields for observability heartbeats.
+
+        Cheap derived rates over the live counters — called once per
+        heartbeat interval by :func:`repro.system.simulator.simulate`,
+        never from the per-reference path.  ``mct_conflict_share`` is the
+        percentage of classified misses the MCT has called conflict so
+        far (the online stand-in for accuracy, which needs the oracle of
+        :mod:`repro.core.accuracy`).
+        """
+        stats = self.stats
+        classified = stats.conflict_misses_predicted + stats.capacity_misses_predicted
+        return {
+            "l1_hit_rate": round(stats.l1.hit_rate, 4),
+            "buffer_hit_rate": round(stats.buffer.hit_rate_of_probes, 4),
+            "total_hit_rate": round(stats.total_hit_rate, 4),
+            "mct_conflict_share": round(
+                100.0 * stats.conflict_misses_predicted / classified, 4
+            )
+            if classified
+            else 0.0,
+        }
+
     def finish(self) -> SystemStats:
         """Drain the pipeline and collect final statistics.
 

@@ -17,7 +17,7 @@ against its solo run on the same machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Sequence
 
 from repro.cache.stats import SystemStats
@@ -49,6 +49,17 @@ class ThreadStats:
     def conflict_rate(self) -> float:
         """MCT conflict misses as a percentage of this thread's accesses."""
         return 100.0 * self.conflict_misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (the name survives).
+
+        Iterates :func:`~dataclasses.fields` so a counter added later is
+        reset too, instead of silently leaking warmup-period counts into
+        the measured window.
+        """
+        for f in fields(self):
+            if isinstance(getattr(self, f.name), int):
+                setattr(self, f.name, 0)
 
 
 @dataclass
@@ -104,8 +115,7 @@ def simulate_shared(
             if step == warm_until and warm_until:
                 system.reset_measurement()
                 for t in threads:
-                    t.accesses = t.l1_hits = t.buffer_hits = 0
-                    t.misses = t.conflict_misses = 0
+                    t.reset()
             step += 1
             stats = system.stats
             before_hits = stats.l1.hits

@@ -10,9 +10,10 @@ with.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.cache.stats import SystemStats
+from repro.obs.heartbeat import SimTicker, sim_ticker
 from repro.system.config import MachineConfig, PAPER_MACHINE
 from repro.system.memory_system import MemorySystem
 from repro.system.policies import AssistConfig
@@ -55,9 +56,54 @@ def simulate(
         access(addr, is_load=load, gap=gap)
     if warmup:
         system.reset_measurement()
-    for addr, load, gap in zip(addresses[warmup:], is_load[warmup:], gaps[warmup:]):
-        access(addr, is_load=load, gap=gap)
-    return system.finish()
+    ticker = sim_ticker(
+        bench=trace.name, policy=policy.name, refs=len(trace), warmup=warmup
+    )
+    if ticker is None:
+        # Metrics disabled (the default): the measured loop is exactly
+        # the warmup loop — no per-chunk bookkeeping, no overhead.
+        for addr, load, gap in zip(addresses[warmup:], is_load[warmup:], gaps[warmup:]):
+            access(addr, is_load=load, gap=gap)
+        return system.finish()
+    return _measure_with_ticker(
+        system, ticker, addresses[warmup:], is_load[warmup:], gaps[warmup:]
+    )
+
+
+def _measure_with_ticker(
+    system: MemorySystem,
+    ticker: SimTicker,
+    addresses: List[int],
+    is_load: List[bool],
+    gaps: List[int],
+) -> SystemStats:
+    """The measured loop with metrics/heartbeats enabled.
+
+    Simulates exactly the same references in the same order as the plain
+    loop — statistics are bit-identical either way — but in chunks of the
+    heartbeat cadence so the ticker can observe running counters between
+    chunks.  With heartbeats off (cadence 0) the whole window is one
+    chunk and only the final counter delta is emitted.
+    """
+    ticker.begin()
+    access = system.access
+    n = len(addresses)
+    every = ticker.every if ticker.every > 0 else n
+    for start in range(0, n, every):
+        stop = min(start + every, n)
+        for addr, load, gap in zip(
+            addresses[start:stop], is_load[start:stop], gaps[start:stop]
+        ):
+            access(addr, is_load=load, gap=gap)
+        if ticker.every > 0 and stop < n:
+            # No heartbeat for the final chunk: sim_end immediately
+            # follows with the complete snapshot.
+            ticker.tick(
+                stop, system.stats.as_dict(), **system.heartbeat_snapshot()
+            )
+    stats = system.finish()
+    ticker.finish(n, stats.as_dict())
+    return stats
 
 
 def simulate_policies(
@@ -67,7 +113,19 @@ def simulate_policies(
     *,
     warmup: int = 0,
 ) -> Dict[str, SystemStats]:
-    """Run the same trace through several policies (fresh system each)."""
+    """Run the same trace through several policies (fresh system each).
+
+    Policy names must be unique: the results are keyed by name, and a
+    duplicate would silently overwrite an earlier policy's statistics.
+    """
+    names = [p.name for p in policies]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate policy name(s) {', '.join(map(repr, duplicates))}: "
+            "results are keyed by name, so one run would silently "
+            "overwrite the other (use AssistConfig.renamed())"
+        )
     return {p.name: simulate(trace, p, machine, warmup=warmup) for p in policies}
 
 
@@ -76,6 +134,11 @@ def speedup(stats: SystemStats, baseline: SystemStats) -> float:
     base_ipc = baseline.timing.ipc
     if base_ipc == 0:
         raise ValueError("baseline run has no cycles — was finish() called?")
+    if stats.timing.ipc == 0:
+        raise ValueError(
+            "measured run has no instructions or no cycles (IPC is 0) — "
+            "was finish() called?"
+        )
     return stats.timing.ipc / base_ipc
 
 
