@@ -1,0 +1,43 @@
+"""``repro.analysis`` — simlint, the repo-specific static-analysis pass.
+
+Five rule families, each earned the hard way (see
+``docs/static_analysis.md`` for the catalog with the original bugs):
+
+* **stats-completeness** (RPR001-003) — statistics dataclasses must
+  route ``reset()``/``merge()`` through :func:`dataclasses.fields` and
+  keep counters ``int``;
+* **determinism** (RPR010-013) — no wall clock, unseeded RNG, OS
+  entropy or set-order dependence in the simulation core;
+* **concurrency** (RPR020-022) — harness child-process lifecycle under
+  the serialised lock, no bare shared-dict mutation from scheduler
+  threads;
+* **obs-schema** (RPR030-032) — emitted event names and the validator
+  schema must agree exactly, in both directions;
+* **hot-path** (RPR040-041) — no repeated attribute chains in
+  simulation-core loops, no ``print()`` in library code.
+
+Run ``python -m repro.analysis src tests`` (CI does, before anything
+else).  Suppress a finding with ``# repro: noqa[RPR003]`` on its line —
+every suppression should say *why* in an adjacent comment.
+"""
+
+from repro.analysis.checkers import ALL_CHECKERS, catalog
+from repro.analysis.core import (
+    Checker,
+    ModuleInfo,
+    RunResult,
+    Violation,
+    all_checkers,
+    run,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "ModuleInfo",
+    "RunResult",
+    "Violation",
+    "all_checkers",
+    "catalog",
+    "run",
+]

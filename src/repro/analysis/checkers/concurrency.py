@@ -1,0 +1,215 @@
+"""RPR020-022 — scheduler concurrency rules for ``harness/``.
+
+PR 2 hit a real race: with ``--jobs N``, CPython's ``Process.start()``
+reaps *every* finished child (``util._cleanup`` polls them all), so one
+scheduler thread's ``start()`` could win the ``os.waitpid`` race against
+another thread's ``join()``/``close()`` — the loser saw ECHILD and
+``close()`` raised on a "still running" child.  The fix serialises every
+worker start and reap under one lifecycle lock.  These rules generalise
+that fix: in ``harness/`` code, anything that can wait on or reap a
+child process must sit under a lock, and state shared between scheduler
+threads must not be mutated bare.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from repro.analysis.core import Checker, ModuleInfo, Violation, dotted_name
+
+#: Receiver names treated as child-process handles.
+_PROC_NAME = re.compile(r"(^|_)(proc|process|worker|child)s?$")
+
+#: Methods that wait on / reap a child (the waitpid holders).
+_REAP_METHODS = {"start", "join", "close", "kill"}
+
+#: A with-item expression counts as "a lock" when its source mentions one.
+_LOCK_HINT = re.compile(r"lock|mutex", re.IGNORECASE)
+
+
+def _is_lock_with(node: ast.With) -> bool:
+    for item in node.items:
+        name = dotted_name(item.context_expr)
+        if isinstance(item.context_expr, ast.Call):
+            name = dotted_name(item.context_expr.func)
+        if name is not None and _LOCK_HINT.search(name):
+            return True
+    return False
+
+
+class _WithTracker(ast.NodeVisitor):
+    """Walks a tree recording, per node, whether a lock ``with`` encloses it."""
+
+    def __init__(self) -> None:
+        self.under_lock: Set[int] = set()
+        self._depth = 0
+
+    def visit_With(self, node: ast.With) -> None:  # noqa: N802 - ast API
+        if _is_lock_with(node):
+            self._depth += 1
+            self.generic_visit(node)
+            self._depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if self._depth > 0:
+            self.under_lock.add(id(node))
+        super().generic_visit(node)
+
+
+class ConcurrencyChecker(Checker):
+    name = "concurrency"
+    codes: Dict[str, str] = {
+        "RPR020": "direct os.waitpid in harness code "
+        "(reaping must go through the serialised lifecycle path)",
+        "RPR021": "process start/join/close outside a lifecycle lock "
+        "(the PR-2 waitpid race)",
+        "RPR022": "shared dict mutated from a scheduler-thread function "
+        "outside a lock",
+    }
+    tags: Optional[FrozenSet[str]] = frozenset({"harness"})
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        tracker = _WithTracker()
+        tracker.visit(module.tree)
+        under_lock = tracker.under_lock
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in {"os.waitpid", "waitpid"}:
+                    yield module.violation(
+                        self,
+                        "RPR020",
+                        node,
+                        "os.waitpid called directly: child reaping must be "
+                        "serialised through the process-lifecycle lock",
+                    )
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _REAP_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and _PROC_NAME.search(node.func.value.id)
+                    and id(node) not in under_lock
+                ):
+                    yield module.violation(
+                        self,
+                        "RPR021",
+                        node,
+                        f"{node.func.value.id}.{node.func.attr}() outside a "
+                        f"lifecycle lock: concurrent start()/join()/close() "
+                        f"race on os.waitpid (ECHILD)",
+                    )
+
+        yield from self._check_shared_mutation(module, under_lock)
+
+    # ------------------------------------------------------------------
+    def _check_shared_mutation(
+        self, module: ModuleInfo, under_lock: Set[int]
+    ) -> Iterator[Violation]:
+        """RPR022: a nested function handed to a thread pool / Thread that
+        subscript-assigns into a dict owned by the enclosing scope."""
+        for outer in ast.walk(module.tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            dict_vars = _dict_locals(outer)
+            if not dict_vars:
+                continue
+            threaded = _threaded_function_names(outer)
+            for stmt in outer.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name in threaded
+                ):
+                    local = _assigned_names(stmt)
+                    for sub in ast.walk(stmt):
+                        target: Optional[ast.Subscript] = None
+                        if isinstance(sub, ast.Assign):
+                            for tgt in sub.targets:
+                                if isinstance(tgt, ast.Subscript):
+                                    target = tgt
+                        elif isinstance(sub, ast.AugAssign) and isinstance(
+                            sub.target, ast.Subscript
+                        ):
+                            target = sub.target
+                        if target is None:
+                            continue
+                        if (
+                            isinstance(target.value, ast.Name)
+                            and target.value.id in dict_vars
+                            and target.value.id not in local
+                            and id(sub) not in under_lock
+                        ):
+                            yield module.violation(
+                                self,
+                                "RPR022",
+                                sub,
+                                f"dict {target.value.id!r} shared with "
+                                f"scheduler threads is mutated without a "
+                                f"lock",
+                            )
+
+
+def _dict_locals(func: ast.AST) -> Set[str]:
+    """Names bound to ``{}``/``dict(...)`` directly in ``func``'s body."""
+    out: Set[str] = set()
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, (ast.Dict,)):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    out.add(tgt.id)
+        elif (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Call)
+            and dotted_name(stmt.value.func) == "dict"
+        ):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    out.add(tgt.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if isinstance(stmt.value, ast.Dict) or (
+                isinstance(stmt.value, ast.Call)
+                and dotted_name(stmt.value.func) == "dict"
+            ):
+                out.add(stmt.target.id)
+    return out
+
+
+def _threaded_function_names(func: ast.AST) -> Set[str]:
+    """Nested function names passed to pool.submit / Thread(target=...)."""
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee is None:
+            continue
+        if callee.endswith(".submit") or callee.endswith(".map"):
+            for arg in node.args[:1]:
+                if isinstance(arg, ast.Name):
+                    out.add(arg.id)
+        if callee in {"Thread", "threading.Thread"}:
+            for kw in node.keywords:
+                if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                    out.add(kw.value.id)
+    return out
+
+
+def _assigned_names(func: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    out.add(tgt.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)) and isinstance(
+            node.target, ast.Name
+        ):
+            out.add(node.target.id)
+    return out

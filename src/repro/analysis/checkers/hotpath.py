@@ -1,0 +1,185 @@
+"""RPR040-041 — hot-path hygiene.
+
+The per-reference loop is this repo's entire performance budget: PR 2
+bought ~1.2x by hoisting bound methods and converting numpy arrays to
+lists *once* outside the loop.  RPR040 keeps that discipline: a
+multi-level attribute chain (``self.stats.l1.hits``) repeated inside a
+loop in the simulation core re-walks the descriptor protocol every
+iteration when a single hoisted local would do.  RPR041 bans ``print``
+in library code — simulation output goes through the ``obs`` event
+stream (or a returned result), never stdout, which the harness owns for
+progress reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Checker, ModuleInfo, Violation, dotted_name
+
+#: Occurrences of the same chain inside one loop body before flagging.
+CHAIN_THRESHOLD = 2
+
+#: Attribute depth (``a.b`` = 1, ``a.b.c`` = 2) from which chains count.
+CHAIN_DEPTH = 2
+
+
+def _chain_depth(node: ast.Attribute) -> int:
+    depth = 0
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        depth += 1
+        current = current.value
+    return depth
+
+
+def _load_chains(body: List[ast.stmt]) -> List[Tuple[str, ast.Attribute]]:
+    """Deepest pure-load attribute chains in a loop body.
+
+    Only the *outermost* attribute of each chain is counted (so
+    ``self.stats.l1`` inside ``self.stats.l1.hits`` is not double
+    counted), and only chains rooted at a plain name.
+    """
+    chains: List[Tuple[str, ast.Attribute]] = []
+    parents: Set[int] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Attribute):
+                parents.add(id(node.value))
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Attribute)
+                and id(node) not in parents
+                and isinstance(node.ctx, ast.Load)
+                and _chain_depth(node) >= CHAIN_DEPTH
+            ):
+                name = dotted_name(node)
+                if name is not None:
+                    chains.append((name, node))
+    return chains
+
+
+def _stored_prefixes(body: List[ast.stmt]) -> Set[str]:
+    """Dotted names (and their roots) assigned anywhere in the loop body."""
+    stored: Set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for tgt in targets:
+                name = dotted_name(tgt)
+                if name is not None:
+                    stored.add(name)
+                elif isinstance(tgt, ast.Subscript):
+                    sub_name = dotted_name(tgt.value)
+                    if sub_name is not None:
+                        stored.add(sub_name)
+    return stored
+
+
+def _rebinds(stored: Set[str], chain: str) -> bool:
+    """Whether any stored name rebinds the chain or one of its prefixes.
+
+    Mutating an *attribute through* the chain (``self.stats.x += 1``)
+    does not rebind the objects along ``self.stats`` — hoisting is still
+    sound — but assigning the prefix itself does.
+    """
+    parts = chain.split(".")
+    prefixes = {".".join(parts[: i + 1]) for i in range(len(parts))}
+    return bool(stored & prefixes)
+
+
+class HotPathChecker(Checker):
+    name = "hot-path"
+    codes: Dict[str, str] = {
+        "RPR040": "attribute chain repeated inside a simulation-core loop "
+        "(hoist it to a local before the loop)",
+        "RPR041": "print() in library code (output goes through obs "
+        "events or returned results)",
+    }
+    tags: Optional[FrozenSet[str]] = frozenset({"src"})
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        if "simcore" in module.tags:
+            yield from self._check_loops(module)
+        yield from self._check_prints(module)
+
+    # ------------------------------------------------------------------
+    def _check_loops(self, module: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            body = node.body
+            stored = _stored_prefixes(body)
+            counts: Dict[str, List[ast.Attribute]] = {}
+            for name, attr in _load_chains(body):
+                counts.setdefault(name, []).append(attr)
+            for name, sites in sorted(counts.items()):
+                if len(sites) < CHAIN_THRESHOLD or _rebinds(stored, name):
+                    continue
+                first = min(sites, key=lambda a: (a.lineno, a.col_offset))
+                prefix = name.rsplit(".", 1)[0]
+                yield module.violation(
+                    self,
+                    "RPR040",
+                    first,
+                    f"attribute chain {name!r} read {len(sites)}x per "
+                    f"iteration; hoist `{prefix}` to a local before the "
+                    f"loop",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_prints(self, module: ModuleInfo) -> Iterator[Violation]:
+        if _is_cli_module(module.tree):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                if _in_allowed_function(module.tree, node):
+                    continue
+                yield module.violation(
+                    self,
+                    "RPR041",
+                    node,
+                    "print() in library code: simulation output goes "
+                    "through obs events or returned results, stdout "
+                    "belongs to the harness CLI",
+                )
+
+
+def _is_cli_module(tree: ast.Module) -> bool:
+    """A module with a ``main()`` or an ``if __name__ == '__main__'`` guard
+    owns its stdout; prints there are CLI output, not library noise."""
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "main":
+            return True
+        if isinstance(node, ast.If):
+            test = node.test
+            if (
+                isinstance(test, ast.Compare)
+                and isinstance(test.left, ast.Name)
+                and test.left.id == "__name__"
+            ):
+                return True
+    return False
+
+
+def _in_allowed_function(tree: ast.Module, call: ast.Call) -> bool:
+    """Prints inside ``main``/``print_*`` functions are reporting helpers."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not (node.name == "main" or node.name.startswith(("print_", "_print"))):
+            continue
+        for sub in ast.walk(node):
+            if sub is call:
+                return True
+    return False

@@ -1,0 +1,137 @@
+"""RPR030-032 — event names vs. the validator schema, both directions.
+
+The observability contract is two-sided: the emit side
+(:class:`repro.obs.events.EventLog`) only accepts names in
+``EVENT_TYPES``, and the validate side (``python -m repro.obs.validate``)
+only accepts names in ``REQUIRED_FIELDS``.  A name present on one side
+but not the other means either events that can never validate (silent
+telemetry loss in CI) or schema entries that nothing ever emits (dead
+contract).  This checker joins the two sides *statically* across files:
+
+* every string literal passed to an ``.emit("name", ...)`` call must be
+  a schema name (RPR030);
+* every schema name must be emitted by at least one call site (RPR031);
+* ``EVENT_TYPES`` and ``REQUIRED_FIELDS`` must agree exactly (RPR032) —
+  the same drift the runtime validator now also refuses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.analysis.core import Checker, ModuleInfo, Violation, literal_str
+
+
+class ObsSchemaChecker(Checker):
+    name = "obs-schema"
+    codes: Dict[str, str] = {
+        "RPR030": "event name emitted but absent from the validator schema",
+        "RPR031": "schema event name never emitted anywhere",
+        "RPR032": "EVENT_TYPES and REQUIRED_FIELDS disagree",
+    }
+    # Collects from library code only: tests emit deliberately-bogus
+    # names when exercising the runtime guard, and those are not part of
+    # the contract.
+    tags: Optional[FrozenSet[str]] = frozenset({"src"})
+
+    def __init__(self) -> None:
+        # (name, module, node) per emit site / schema entry, in visit order.
+        self._emits: List[Tuple[str, ModuleInfo, ast.AST]] = []
+        self._event_types: List[Tuple[str, ModuleInfo, ast.AST]] = []
+        self._required: List[Tuple[str, ModuleInfo, ast.AST]] = []
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                self._collect_emit(module, node)
+            elif isinstance(node, ast.Assign):
+                self._collect_schema(module, node)
+        return iter(())
+
+    def _collect_emit(self, module: ModuleInfo, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "emit":
+            return
+        if not node.args:
+            return
+        name = literal_str(node.args[0])
+        if name is not None:
+            self._emits.append((name, module, node))
+
+    def _collect_schema(self, module: ModuleInfo, node: ast.Assign) -> None:
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "EVENT_TYPES" in targets:
+            for name, sub in _string_elements(node.value):
+                self._event_types.append((name, module, sub))
+        if "REQUIRED_FIELDS" in targets and isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                name = literal_str(key) if key is not None else None
+                if name is not None:
+                    self._required.append((name, module, key))
+
+    def finalize(self) -> Iterator[Violation]:
+        # No schema in the checked set (e.g. a run over a subtree that
+        # excludes obs/): nothing to join against, so stay silent rather
+        # than flagging every emit site.
+        if not self._event_types and not self._required:
+            return
+        schema = {n for n, _, _ in self._event_types} | {
+            n for n, _, _ in self._required
+        }
+        emitted = {n for n, _, _ in self._emits}
+        # `emit` is also the generic entry point spans go through:
+        # EventLog.emit_span forwards with the literal "span", which the
+        # collection above already sees, so no special-casing is needed.
+        for name, module, node in self._emits:
+            if name not in schema:
+                yield module.violation(
+                    self,
+                    "RPR030",
+                    node,
+                    f"event {name!r} is emitted but absent from the "
+                    f"validator schema (EVENT_TYPES/REQUIRED_FIELDS)",
+                )
+        for name, module, node in self._event_types + self._required:
+            if name not in emitted:
+                yield module.violation(
+                    self,
+                    "RPR031",
+                    node,
+                    f"schema event {name!r} is never emitted by any call "
+                    f"site — dead contract entry",
+                )
+        types = {n for n, _, _ in self._event_types}
+        required = {n for n, _, _ in self._required}
+        if self._event_types and self._required and types != required:
+            only_types = sorted(types - required)
+            only_required = sorted(required - types)
+            _, module, node = (self._event_types + self._required)[0]
+            details = []
+            if only_types:
+                details.append(f"only in EVENT_TYPES: {', '.join(only_types)}")
+            if only_required:
+                details.append(
+                    f"only in REQUIRED_FIELDS: {', '.join(only_required)}"
+                )
+            yield module.violation(
+                self,
+                "RPR032",
+                node,
+                "EVENT_TYPES and REQUIRED_FIELDS disagree "
+                f"({'; '.join(details)})",
+            )
+
+
+def _string_elements(node: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """String constants inside a (frozen)set/list/tuple literal, possibly
+    wrapped in a ``frozenset({...})`` call."""
+    if isinstance(node, ast.Call) and node.args:
+        return _string_elements(node.args[0])
+    out: List[Tuple[str, ast.AST]] = []
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        for element in node.elts:
+            value = literal_str(element)
+            if value is not None:
+                out.append((value, element))
+    return out

@@ -1,0 +1,120 @@
+"""RPR001-003 — stats-completeness.
+
+PR 3 fixed a family of real bugs: ``BufferStats.merge()`` and several
+``reset()`` methods hand-enumerated their counter fields, so a counter
+added later was silently dropped from aggregates (or leaked warmup
+counts into the measured window).  The repo's convention since then is
+that every statistics dataclass routes ``reset()``/``merge()`` through
+:func:`dataclasses.fields` — these rules make that convention a build
+failure instead of a review comment.
+
+A class is *stats-like* when it is a ``@dataclass`` following the
+repo's naming convention — class name ending in ``Stats``, or any
+dataclass inside a ``stats.py`` module — that defines ``reset`` or
+``merge`` and declares at least two scalar counter fields (``int`` /
+``float`` annotation, zero default).  Workload/config dataclasses whose
+``reset()`` rewinds a position are not statistics and are not visited.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.analysis.core import Checker, ModuleInfo, Violation, is_dataclass
+
+
+def _counter_fields(node: ast.ClassDef) -> List[Tuple[str, str, ast.AnnAssign]]:
+    """(name, annotation, node) for scalar counter fields of a dataclass."""
+    out: List[Tuple[str, str, ast.AnnAssign]] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        if not isinstance(stmt.annotation, ast.Name):
+            continue
+        annotation = stmt.annotation.id
+        if annotation not in {"int", "float"}:
+            continue
+        default = stmt.value
+        if (
+            isinstance(default, ast.Constant)
+            and isinstance(default.value, (int, float))
+            and not isinstance(default.value, bool)
+            and default.value == 0
+        ):
+            out.append((stmt.target.id, annotation, stmt))
+    return out
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _uses_fields(func: ast.FunctionDef) -> bool:
+    """Whether the method iterates ``dataclasses.fields`` anywhere."""
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            if isinstance(callee, ast.Name) and callee.id == "fields":
+                return True
+            if isinstance(callee, ast.Attribute) and callee.attr == "fields":
+                return True
+    return False
+
+
+class StatsCompletenessChecker(Checker):
+    name = "stats-completeness"
+    codes: Dict[str, str] = {
+        "RPR001": "stats dataclass reset() hand-enumerates fields "
+        "(route through dataclasses.fields())",
+        "RPR002": "stats dataclass merge() hand-enumerates fields "
+        "(route through dataclasses.fields())",
+        "RPR003": "counter field annotated float (counters must be int; "
+        "noqa only for genuinely fractional quantities)",
+    }
+    tags: Optional[FrozenSet[str]] = frozenset({"src"})
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        stats_module = module.path.name == "stats.py"
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not is_dataclass(node):
+                continue
+            if not (node.name.endswith("Stats") or stats_module):
+                continue
+            counters = _counter_fields(node)
+            reset = _method(node, "reset")
+            merge = _method(node, "merge")
+            if len(counters) < 2 or (reset is None and merge is None):
+                continue
+            if reset is not None and not _uses_fields(reset):
+                yield module.violation(
+                    self,
+                    "RPR001",
+                    reset,
+                    f"{node.name}.reset() does not iterate dataclasses."
+                    f"fields(); a counter added later would silently "
+                    f"survive reset",
+                )
+            if merge is not None and not _uses_fields(merge):
+                yield module.violation(
+                    self,
+                    "RPR002",
+                    merge,
+                    f"{node.name}.merge() does not iterate dataclasses."
+                    f"fields(); a counter added later would silently "
+                    f"be dropped from aggregates",
+                )
+            for field_name, annotation, stmt in counters:
+                if annotation == "float":
+                    yield module.violation(
+                        self,
+                        "RPR003",
+                        stmt,
+                        f"{node.name}.{field_name} is a float counter; "
+                        f"counters must be int so replay/merge stays exact",
+                    )

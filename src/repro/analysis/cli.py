@@ -1,0 +1,116 @@
+"""``python -m repro.analysis`` — the simlint command line.
+
+Usage::
+
+    python -m repro.analysis src tests
+    python -m repro.analysis src --json
+    python -m repro.analysis src --select RPR01 --ignore RPR013
+    python -m repro.analysis --list-checkers
+
+Exit status: 0 clean, 1 violations found, 2 usage or I/O error — the
+same contract as ``repro.obs.validate``, so CI treats both uniformly.
+Directories are walked recursively; ``tests/fixtures/analysis`` is
+skipped unless a fixture file is named explicitly (the fixtures are
+deliberate violations that the checker tests drive one file at a time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.checkers import catalog
+from repro.analysis.core import all_checkers, run
+
+
+def _code_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    codes = [c.strip() for c in raw.split(",") if c.strip()]
+    return codes or None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analysis (simlint): stats "
+        "completeness, determinism, scheduler concurrency, obs schema "
+        "coherence and hot-path hygiene.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH", help="files or directories to check"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable findings on stdout"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated code prefixes to keep (e.g. RPR01,RPR040)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated code prefixes to drop",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print the error-code catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for code, description in catalog().items():
+            print(f"{code}  {description}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis src tests)")
+
+    try:
+        result = run(
+            args.paths,
+            all_checkers(),
+            select=_code_list(args.select),
+            ignore=_code_list(args.ignore),
+        )
+    except FileNotFoundError as exc:
+        print(f"analysis: {exc}", file=sys.stderr)
+        return 2
+
+    for error in result.errors:
+        print(f"analysis: {error}", file=sys.stderr)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "files_checked": result.files_checked,
+                    "violations": [v.to_dict() for v in result.violations],
+                    "errors": result.errors,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for violation in result.violations:
+            print(violation.format())
+        summary = (
+            f"{len(result.violations)} violation(s) in "
+            f"{result.files_checked} file(s)"
+        )
+        print(
+            f"analysis: {'FAIL — ' + summary if result.violations else 'OK — ' + summary}",
+            file=sys.stderr,
+        )
+
+    if result.errors:
+        return 2
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -38,6 +38,30 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
 }
 
 
+def schema_drift() -> List[str]:
+    """Disagreements between the emit side and the validate side.
+
+    ``EVENT_TYPES`` (what :class:`~repro.obs.events.EventLog` will emit)
+    and :data:`REQUIRED_FIELDS` (what this validator accepts) are the two
+    halves of one contract; a name on one side only means either events
+    that can never validate or dead schema entries.  The CLI refuses to
+    run with a drifted schema, and the ``RPR032`` static check enforces
+    the same rule at lint time — both sides fail, neither just warns.
+    """
+    problems: List[str] = []
+    for name in sorted(EVENT_TYPES - set(REQUIRED_FIELDS)):
+        problems.append(
+            f"schema drift: {name!r} in EVENT_TYPES but REQUIRED_FIELDS "
+            f"does not know its required fields"
+        )
+    for name in sorted(set(REQUIRED_FIELDS) - EVENT_TYPES):
+        problems.append(
+            f"schema drift: {name!r} in REQUIRED_FIELDS but the emitter "
+            f"would reject it (not in EVENT_TYPES)"
+        )
+    return problems
+
+
 def validate_lines(lines: Iterable[str]) -> Tuple[List[dict], List[str]]:
     """Parse and schema-check event lines; returns (events, problems)."""
     events: List[dict] = []
@@ -60,8 +84,13 @@ def validate_lines(lines: Iterable[str]) -> Tuple[List[dict], List[str]]:
             )
             continue
         etype = event.get("type")
-        if etype not in EVENT_TYPES:
-            problems.append(f"line {lineno}: unknown event type {etype!r}")
+        if etype not in EVENT_TYPES or etype not in REQUIRED_FIELDS:
+            # Absent from either side of the schema is a hard failure:
+            # a type the emitter knows but the validator does not (or
+            # vice versa) must fail the stream, not crash or pass.
+            problems.append(
+                f"line {lineno}: event type {etype!r} absent from schema"
+            )
             continue
         missing = [f for f in REQUIRED_FIELDS[etype] if f not in event]
         if missing:
@@ -123,6 +152,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not path.is_file():
         print(f"validate: no such file: {path}", file=sys.stderr)
         return 2
+
+    drift = schema_drift()
+    if drift:
+        for problem in drift:
+            print(f"validate: {problem}", file=sys.stderr)
+        print(
+            f"validate: FAIL ({len(drift)} schema drift problem(s) — fix "
+            f"repro.obs before validating streams)",
+            file=sys.stderr,
+        )
+        return 1
 
     events, problems = validate_lines(path.read_text().splitlines())
     sims_checked = 0

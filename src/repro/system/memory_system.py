@@ -139,9 +139,9 @@ class MemorySystem:
             for entry in self.buffer._entries.values():
                 entry.ready_time = 0.0
         self.timing.reset_measurement()
-        self.stats.memory_accesses = 0
-        self.stats.conflict_misses_predicted = 0
-        self.stats.capacity_misses_predicted = 0
+        # fields()-driven so a scalar counter added to SystemStats later
+        # is reset here automatically instead of leaking warmup counts.
+        self.stats.reset_scalars()
 
     def heartbeat_snapshot(self) -> dict:
         """Running-rate fields for observability heartbeats.

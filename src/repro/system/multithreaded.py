@@ -109,30 +109,39 @@ def simulate_shared(
     threads = [ThreadStats(name=t.name) for t in traces]
     warm_until = int(n * k * warmup_fraction)
 
+    # Hoisted once, as in simulate(): numpy indexing boxes a fresh scalar
+    # per reference, and the stats attribute chains would otherwise be
+    # re-resolved on every access (RPR040).  The stats *objects* are
+    # stable across the run — only their counters mutate — so locals are
+    # safe to cache outside the loop.
+    access = system.access
+    per_thread = [
+        (t.addresses.tolist(), t.is_load.tolist(), t.gaps.tolist()) for t in traces
+    ]
+    stats = system.stats
+    l1_stats = stats.l1
+    buffer_stats = stats.buffer
+
     step = 0
     for i in range(n):
-        for tid, trace in enumerate(traces):
+        for tid in range(k):
             if step == warm_until and warm_until:
                 system.reset_measurement()
                 for t in threads:
                     t.reset()
             step += 1
-            stats = system.stats
-            before_hits = stats.l1.hits
-            before_buffer = stats.buffer.hits
+            addresses, is_load, gaps = per_thread[tid]
+            before_hits = l1_stats.hits
+            before_buffer = buffer_stats.hits
             before_conf = stats.conflict_misses_predicted
-            system.access(
-                int(trace.addresses[i]),
-                is_load=bool(trace.is_load[i]),
-                gap=int(trace.gaps[i]),
-            )
+            access(addresses[i], is_load=is_load[i], gap=gaps[i])
             t = threads[tid]
             t.accesses += 1
-            if stats.l1.hits > before_hits:
+            if l1_stats.hits > before_hits:
                 t.l1_hits += 1
             else:
                 t.misses += 1
-                if stats.buffer.hits > before_buffer:
+                if buffer_stats.hits > before_buffer:
                     t.buffer_hits += 1
                 if stats.conflict_misses_predicted > before_conf:
                     t.conflict_misses += 1

@@ -66,7 +66,7 @@ class PacMemorySystem:
         self.l1.secondary_hits = 0
         self.l2.stats.reset()
         self.timing.reset_measurement()
-        self.stats.memory_accesses = 0
+        self.stats.reset_scalars()
 
     def finish(self) -> SystemStats:
         self.stats.timing = self.timing.finish()
@@ -84,11 +84,16 @@ def simulate_pac(
     if not 0 <= warmup <= len(trace):
         raise ValueError(f"warmup {warmup} outside [0, {len(trace)}]")
     system = PacMemorySystem(variant, machine)
-    addresses, is_load, gaps = trace.addresses, trace.is_load, trace.gaps
-    for i in range(warmup):
-        system.access(int(addresses[i]), is_load=bool(is_load[i]), gap=int(gaps[i]))
+    access = system.access
+    # Native lists once, as in repro.system.simulator.simulate(): indexing
+    # a numpy array boxes a fresh scalar per element in the hot loop.
+    addresses = trace.addresses.tolist()
+    is_load = trace.is_load.tolist()
+    gaps = trace.gaps.tolist()
+    for addr, load, gap in zip(addresses[:warmup], is_load[:warmup], gaps[:warmup]):
+        access(addr, is_load=load, gap=gap)
     if warmup:
         system.reset_measurement()
-    for i in range(warmup, len(addresses)):
-        system.access(int(addresses[i]), is_load=bool(is_load[i]), gap=int(gaps[i]))
+    for addr, load, gap in zip(addresses[warmup:], is_load[warmup:], gaps[warmup:]):
+        access(addr, is_load=load, gap=gap)
     return system.finish()

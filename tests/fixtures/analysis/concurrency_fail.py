@@ -1,0 +1,28 @@
+# repro-analysis-scope: src harness
+"""Failing fixture for concurrency: RPR020, RPR021, RPR022."""
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+
+def reap_directly(pid: int) -> None:
+    os.waitpid(pid, 0)  # RPR020
+
+
+def race(ctx, spec) -> None:
+    proc = ctx.Process(target=spec)
+    proc.start()  # RPR021: start outside the lifecycle lock
+    proc.join()  # RPR021
+    proc.close()  # RPR021
+
+
+def schedule(specs) -> dict:
+    results = {}
+
+    def work(spec) -> None:
+        results[spec] = 1  # RPR022: bare shared-dict mutation
+
+    with ThreadPoolExecutor() as pool:
+        for spec in specs:
+            pool.submit(work, spec)
+    return results

@@ -1,0 +1,31 @@
+# repro-analysis-scope: src harness
+"""Passing fixture for concurrency: lifecycle under the lock."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_proc_lifecycle_lock = threading.Lock()
+
+
+def supervised(ctx, spec) -> None:
+    proc = ctx.Process(target=spec)
+    with _proc_lifecycle_lock:
+        proc.start()
+    proc.terminate()  # signal-only: no waitpid, allowed outside the lock
+    with _proc_lifecycle_lock:
+        proc.join(5)
+        proc.close()
+
+
+def schedule(specs) -> dict:
+    results = {}
+    results_lock = threading.Lock()
+
+    def work(spec) -> None:
+        with results_lock:
+            results[spec] = 1
+
+    with ThreadPoolExecutor() as pool:
+        for spec in specs:
+            pool.submit(work, spec)
+    return results

@@ -1,0 +1,35 @@
+# repro-analysis-scope: src simcore
+"""Failing fixture for determinism: RPR010, RPR011, RPR012, RPR013."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def stamp() -> float:
+    return time.time()  # RPR010
+
+
+def jitter() -> float:
+    return random.random()  # RPR011: process-global RNG
+
+
+def rng_unseeded():
+    return np.random.default_rng()  # RPR011: no seed
+
+
+def legacy_draw() -> float:
+    return np.random.rand()  # RPR011: legacy global generator
+
+
+def entropy() -> bytes:
+    return os.urandom(8)  # RPR012
+
+
+def ordered(blocks: set) -> list:
+    out = []
+    for block in {1, 2, 3}:  # RPR013: set iteration order
+        out.append(block)
+    return out + list(set(blocks))  # RPR013: list(set(...))

@@ -1,0 +1,18 @@
+# repro-analysis-scope: src simcore
+"""Passing fixture for determinism: everything seeded and ordered."""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def rng(seed: int) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def ordered(blocks: set) -> list:
+    return sorted(blocks)

@@ -1,0 +1,15 @@
+# repro-analysis-scope: src simcore
+"""Failing fixture for hot-path hygiene: RPR040, RPR041."""
+
+
+class Simulator:
+    def run(self, refs) -> int:
+        total = 0
+        for _ in refs:
+            total += self.stats.l1.hits  # RPR040: chain re-read per ref
+            total -= self.stats.l1.hits
+        return total
+
+
+def report(value: int) -> None:
+    print(value)  # RPR041: library code printing to stdout

@@ -1,0 +1,12 @@
+# repro-analysis-scope: src simcore
+"""Passing fixture for hot-path hygiene: hoisted chain, no prints."""
+
+
+class Simulator:
+    def run(self, refs) -> int:
+        total = 0
+        l1_stats = self.stats.l1
+        for _ in refs:
+            total += l1_stats.hits
+            total -= l1_stats.hits
+        return total

@@ -1,0 +1,17 @@
+# repro-analysis-scope: src simcore
+"""Every violation here is suppressed: the file must lint clean.
+
+Exercises both the bare ``# repro: noqa`` form and the code-scoped
+``# repro: noqa[CODE]`` form, plus a scoped suppression that does NOT
+match (left in ``noqa_partial.py``, not here).
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: noqa[RPR010] - fixture: deliberately suppressed
+
+
+def report(value: int) -> None:
+    print(value)  # repro: noqa

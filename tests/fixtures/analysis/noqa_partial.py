@@ -1,0 +1,8 @@
+# repro-analysis-scope: src simcore
+"""A noqa for the *wrong* code must not suppress the finding."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: noqa[RPR041] - wrong code: RPR010 still fires

@@ -1,0 +1,14 @@
+# repro-analysis-scope: src obs
+"""Failing fixture for obs-schema: RPR030, RPR031, RPR032."""
+
+EVENT_TYPES = frozenset({"run_start", "ghost_event"})  # RPR031/RPR032
+
+REQUIRED_FIELDS = {
+    "run_start": ("params",),
+    "orphan_event": (),  # RPR031/RPR032
+}
+
+
+def emit_all(log) -> None:
+    log.emit("run_start", params={})
+    log.emit("mystery_event", x=1)  # RPR030: not in the schema

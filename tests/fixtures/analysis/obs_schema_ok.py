@@ -1,0 +1,14 @@
+# repro-analysis-scope: src obs
+"""Passing fixture for obs-schema: both sides agree exactly."""
+
+EVENT_TYPES = frozenset({"run_start", "run_end"})
+
+REQUIRED_FIELDS = {
+    "run_start": ("params",),
+    "run_end": ("ok",),
+}
+
+
+def emit_all(log) -> None:
+    log.emit("run_start", params={})
+    log.emit("run_end", ok=True)

@@ -1,0 +1,29 @@
+# repro-analysis-scope: src
+"""Passing fixture for stats-completeness."""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class GoodStats:
+    hits: int = 0
+    misses: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def merge(self, other: "GoodStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class PositionConfig:
+    """Not stats-like (no Stats suffix): a rewinding reset is fine."""
+
+    base: int = 0
+    stride: int = 32
+
+    def reset(self) -> None:
+        self.base = 0

@@ -556,3 +556,73 @@ class TestBenchTracing:
         assert [s["name"] for s in spans] == ["bench.iteration"] * 2
         assert [s["attrs"]["repeat"] for s in spans] == [1, 2]
         assert all(s["attrs"]["seconds"] >= 0 for s in spans)
+
+
+# ----------------------------------------------------------------------
+# Schema drift: the validator and emitter enforce one contract
+# ----------------------------------------------------------------------
+class TestSchemaDrift:
+    """An event name absent from either schema side must fail hard.
+
+    Before this regression suite, a type present in ``EVENT_TYPES`` but
+    missing from ``REQUIRED_FIELDS`` crashed ``validate_lines`` with a
+    KeyError instead of failing the stream with a diagnostic — the
+    static obs-schema checker (RPR030-032) and the runtime validator now
+    enforce the same contract from both sides.
+    """
+
+    def test_event_types_and_required_fields_agree(self):
+        from repro.obs.events import EVENT_TYPES
+        from repro.obs.validate import REQUIRED_FIELDS, schema_drift
+
+        assert set(REQUIRED_FIELDS) == set(EVENT_TYPES)
+        assert schema_drift() == []
+
+    def test_type_known_to_emitter_but_not_validator_fails_cleanly(
+        self, monkeypatch
+    ):
+        from repro.obs import events as events_mod
+        from repro.obs import validate as validate_mod
+
+        monkeypatch.setattr(
+            events_mod,
+            "EVENT_TYPES",
+            frozenset(events_mod.EVENT_TYPES | {"future_event"}),
+        )
+        monkeypatch.setattr(
+            validate_mod,
+            "EVENT_TYPES",
+            frozenset(validate_mod.EVENT_TYPES | {"future_event"}),
+        )
+        line = json.dumps(
+            {"schema": EVENT_SCHEMA, "type": "future_event", "ts": 0.0, "pid": 1}
+        )
+        events, problems = validate_mod.validate_lines([line])
+        assert events == []
+        assert len(problems) == 1 and "absent from schema" in problems[0]
+
+    def test_cli_exits_nonzero_on_drifted_schema(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.obs import validate as validate_mod
+
+        monkeypatch.setattr(
+            validate_mod,
+            "EVENT_TYPES",
+            frozenset(validate_mod.EVENT_TYPES | {"future_event"}),
+        )
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        assert validate_main([str(path)]) == 1
+        assert "schema drift" in capsys.readouterr().err
+
+    def test_unknown_event_name_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps(
+                {"schema": EVENT_SCHEMA, "type": "bogus", "ts": 0.0, "pid": 1}
+            )
+            + "\n"
+        )
+        assert validate_main([str(path)]) == 1
+        assert "absent from schema" in capsys.readouterr().err
