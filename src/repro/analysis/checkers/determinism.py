@@ -3,7 +3,8 @@
 Checkpoint/resume and ``--jobs`` 1-vs-N equivalence are byte-identical
 guarantees: the same spec must produce the same artifact bytes on every
 run.  Anything in the simulation core (``cache/``, ``buffers/``,
-``core/``, ``system/``, ``workloads/``, ``extensions/``) that reads the
+``core/``, ``system/``, ``workloads/``, ``extensions/``, ``mrc/``) that
+reads the
 wall clock, an unseeded RNG, the OS entropy pool, or iterates a hash-
 randomised ``set`` into results can break that silently — on a machine
 you do not own, months later.  (The observability layer *is* allowed to

@@ -32,7 +32,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 #: Sub-packages of ``repro`` forming the deterministic simulation core.
 SIMCORE_PACKAGES = frozenset(
-    {"cache", "buffers", "core", "system", "workloads", "extensions"}
+    {"cache", "buffers", "core", "system", "workloads", "extensions", "mrc"}
 )
 
 #: Directive overriding a file's computed scope tags (fixtures use this).
@@ -121,7 +121,10 @@ def compute_tags(rel: str, source_head: str) -> FrozenSet[str]:
     """Scope tags for a file: directive wins, else derived from its path.
 
     Tags: ``src`` (library code under ``src/repro``), ``simcore``,
-    ``harness``, ``obs``, ``analysis``, ``experiments``, ``test``.
+    ``harness``, ``obs``, ``analysis``, ``experiments``, ``test``.  A
+    simulation-core file additionally carries its own package name
+    (``cache``, ``mrc``, ...) so a checker can target one subsystem
+    without widening its scope to the whole core.
     """
     match = _SCOPE_DIRECTIVE.search(source_head)
     if match:
@@ -135,6 +138,7 @@ def compute_tags(rel: str, source_head: str) -> FrozenSet[str]:
         tags.add("src")
         if package in SIMCORE_PACKAGES:
             tags.add("simcore")
+            tags.add(package)
         elif package in {"harness", "obs", "analysis", "experiments"}:
             tags.add(package)
     if "tests" in parts:

@@ -17,14 +17,30 @@ The paper's grouping is honoured: compulsory misses count as capacity.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Protocol
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.stats import CacheStats, ClassificationStats
+from repro.core.classification import MissClass
 from repro.core.ground_truth import GroundTruthClassifier
 from repro.core.mct import MissClassificationTable
 from repro.obs.heartbeat import sim_ticker
+
+
+class MissOracle(Protocol):
+    """What :func:`measure_accuracy` needs from a ground-truth model.
+
+    :class:`~repro.core.ground_truth.GroundTruthClassifier` (simulating)
+    and :class:`~repro.mrc.oracle.StackDistanceOracle` (replaying a
+    shared stack pass) both satisfy it.  The contract inherited from the
+    classifier: :meth:`classify_miss` before :meth:`observe` for the
+    same reference, and one fresh oracle per replay of a stream.
+    """
+
+    def classify_miss(self, addr: int) -> MissClass: ...
+
+    def observe(self, addr: int) -> None: ...
 
 
 @dataclass
@@ -80,6 +96,7 @@ def measure_accuracy(
     geometry: CacheGeometry,
     *,
     tag_bits: Optional[int] = None,
+    oracle: Optional[MissOracle] = None,
 ) -> AccuracyResult:
     """Measure MCT classification accuracy over a reference stream.
 
@@ -92,6 +109,15 @@ def measure_accuracy(
         these; Figure 2 fixes 16KB direct-mapped).
     tag_bits:
         Stored-tag width for the MCT; None stores the complete tag.
+    oracle:
+        Ground-truth model to classify misses against; defaults to a
+        fresh simulating :class:`GroundTruthClassifier` for the
+        geometry.  Sweeps that replay one stream through several
+        equal-capacity configurations pass
+        :meth:`repro.mrc.oracle.SharedGroundTruth.oracle` instead, so
+        the fully-associative model is paid for once, not per
+        configuration.  Must be fresh (nothing classified yet) and
+        built for exactly this stream's capacity view.
 
     Returns
     -------
@@ -100,7 +126,8 @@ def measure_accuracy(
     """
     mct = MissClassificationTable(geometry, tag_bits=tag_bits)
     cache = SetAssociativeCache(geometry, name="accuracy-L1", on_evict=mct.on_evict)
-    oracle = GroundTruthClassifier(geometry)
+    if oracle is None:
+        oracle = GroundTruthClassifier(geometry)
     result = AccuracyResult(geometry=geometry, tag_bits=tag_bits)
 
     ticker = sim_ticker(

@@ -14,6 +14,7 @@ fig6_amb              Figure 6 — Adaptive Miss Buffer speedups
 fig7_amb_hits         Figure 7 — AMB hit-rate components
 sec56_multithreaded   §5.6 extension — shared-cache co-runs (measured)
 assoc_sweep           §5.6 extension — associativity sweep (measured)
+mrc_curves            subsystem figure — MRC with conflict-share band
 ====================  =============================================
 """
 

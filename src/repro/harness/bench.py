@@ -1,10 +1,14 @@
 """Performance benchmark harness: the ``BENCH_sweep.json`` artifact.
 
-Measures the two numbers every scaling PR must not regress:
+Measures the numbers every scaling PR must not regress:
 
 * **single-cell throughput** — references simulated per second by one
   :func:`repro.system.simulator.simulate` call (the per-reference hot
   loop, free of harness overhead);
+* **MRC throughput** — the single-pass stack-distance engine against
+  the brute-force per-size FA sweep it replaced: both must agree
+  exactly, and the artifact records the speedup (the subsystem's
+  contract is >= 3x at the default nine-point ladder);
 * **sweep wall-clock** — a full ``fig3sweep`` campaign (one cell per
   Section-5 benchmark) executed at ``--jobs 1`` and ``--jobs N``, which
   measures the parallel scheduler's scaling and cross-checks that both
@@ -42,6 +46,7 @@ from repro.experiments.base import ExperimentParams
 from repro.harness.cells import expand_cells
 from repro.harness.checkpoint import RunDirectory
 from repro.harness.executor import HarnessConfig, run_cells
+from repro.mrc.curve import brute_force_fa_misses, compute_mrc, default_size_ladder
 from repro.obs.spans import NULL_TRACER, Tracer
 from repro.system.policies import BASELINE
 from repro.system.simulator import simulate
@@ -81,6 +86,58 @@ def measure_single_cell(
         "repeats": repeats,
         "seconds": round(best, 4),
         "refs_per_sec": round(refs / best, 1),
+    }
+
+
+def measure_mrc(
+    refs: int, seed: int, repeats: int = 3, tracer: Tracer = NULL_TRACER
+) -> Dict[str, object]:
+    """Time one exact MRC pass against the per-size brute-force sweep.
+
+    Both sides run over the same trace and size ladder and must produce
+    identical miss counts (``identical`` in the payload; :func:`main`
+    fails the run otherwise).  ``speedup`` is the subsystem's headline
+    number: one stack pass pricing every size vs one FA simulation per
+    size.  Best-of-``repeats`` on both sides, same rationale as
+    :func:`measure_single_cell`.
+    """
+    trace = build(SINGLE_CELL_BENCH, refs, seed)
+    addresses = trace.addresses
+    address_list = [int(a) for a in addresses]
+    sizes = default_size_ladder()
+
+    best_pass = float("inf")
+    curve = compute_mrc(addresses, 64, sizes)
+    for repeat in range(1, repeats + 1):
+        with tracer.span("bench.mrc_pass", repeat=repeat) as span:
+            started = time.perf_counter()
+            curve = compute_mrc(addresses, 64, sizes)
+            elapsed = time.perf_counter() - started
+            span.set(seconds=round(elapsed, 4))
+        best_pass = min(best_pass, elapsed)
+
+    best_brute = float("inf")
+    brute = list(curve.misses)
+    for repeat in range(1, repeats + 1):
+        with tracer.span("bench.mrc_brute", repeat=repeat) as span:
+            started = time.perf_counter()
+            brute = [
+                brute_force_fa_misses(address_list, 64, size) for size in sizes
+            ]
+            elapsed = time.perf_counter() - started
+            span.set(seconds=round(elapsed, 4))
+        best_brute = min(best_brute, elapsed)
+
+    return {
+        "bench": SINGLE_CELL_BENCH,
+        "refs": refs,
+        "sizes": len(sizes),
+        "repeats": repeats,
+        "single_pass_s": round(best_pass, 4),
+        "brute_force_s": round(best_brute, 4),
+        "speedup": round(best_brute / best_pass, 2) if best_pass else 0.0,
+        "refs_per_sec": round(refs / best_pass, 1),
+        "identical": list(curve.misses) == brute,
     }
 
 
@@ -156,6 +213,15 @@ def check_regression(
             f"{floor:.0f} (baseline {baseline['single_cell']['refs_per_sec']} "
             f"- {max_regression:.0%} allowance)"
         )
+    if "mrc" in baseline and "mrc" in payload:
+        mrc_floor = float(baseline["mrc"]["refs_per_sec"]) * (1.0 - max_regression)
+        mrc_measured = float(payload["mrc"]["refs_per_sec"])  # type: ignore[index]
+        if mrc_measured < mrc_floor:
+            return (
+                f"MRC throughput regressed: {mrc_measured:.0f} refs/sec < "
+                f"{mrc_floor:.0f} (baseline {baseline['mrc']['refs_per_sec']} "
+                f"- {max_regression:.0%} allowance)"
+            )
     return None
 
 
@@ -231,6 +297,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "single_cell": measure_single_cell(
             args.refs, args.warmup, args.seed, tracer=tracer
         ),
+        "mrc": measure_mrc(args.refs, args.seed, tracer=tracer),
     }
     if not args.skip_sweep:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
@@ -247,6 +314,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"[bench] single-cell: {single['refs_per_sec']} refs/sec "  # type: ignore[index]
         f"({single['refs']} refs, best of {single['repeats']})"  # type: ignore[index]
     )
+    mrc = payload["mrc"]
+    print(
+        f"[bench] mrc: {mrc['refs_per_sec']} refs/sec, "  # type: ignore[index]
+        f"{mrc['speedup']}x vs brute force over {mrc['sizes']} sizes "  # type: ignore[index]
+        f"(identical: {mrc['identical']})"  # type: ignore[index]
+    )
+    if not mrc["identical"]:  # type: ignore[index]
+        print(
+            "[bench] ERROR: single-pass MRC disagrees with brute force",
+            file=sys.stderr,
+        )
+        return 1
     if "sweep" in payload:
         sweep = payload["sweep"]
         print(

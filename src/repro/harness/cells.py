@@ -34,6 +34,7 @@ from repro.experiments import (
     fig5_exclusion,
     fig6_amb,
     fig7_amb_hits,
+    mrc_curves,
     sec54_pseudo,
     sec56_multithreaded,
     table1_victim,
@@ -89,6 +90,10 @@ VARIANTS: Dict[str, Dict[str, RunVariant]] = {
     # Extensions beyond the paper's figures (§5.6, measured here):
     "sec56": {"main": sec56_multithreaded.run},
     "assoc": {"main": assoc_sweep.run},
+    # Miss-ratio-curve subsystem: exact single-pass curves with the
+    # conflict-share band, and the SHARDS sampling comparison.
+    "mrc": {"main": mrc_curves.run_exact},
+    "mrc_sampled": {"main": mrc_curves.run_sampled},
     # Sharded form of the Figure-3 sweep: one cell per benchmark, so the
     # --jobs scheduler can spread the (benchmark × policy) grid over
     # cores.  Not part of 'all' — it duplicates fig3.main's work.

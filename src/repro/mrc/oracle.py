@@ -1,0 +1,111 @@
+"""Ground-truth replay oracle backed by a stack profile.
+
+:class:`~repro.core.ground_truth.GroundTruthClassifier` answers Hill's
+question — "would this real-cache miss have hit in a fully-associative
+LRU cache of equal capacity?" — by *simulating* that FA cache alongside
+the real one.  By the inclusion property, the same answer is a pure
+function of the reference's stack distance: resident iff
+``distance <= capacity_lines``.  A :class:`StackDistanceOracle` replays
+a precomputed :class:`~repro.mrc.stack.StackProfile` instead of
+simulating, which lets one stack pass serve *every* cache configuration
+of equal capacity (the associativity sweep, the tag-bits sweep, the
+conflict decomposition) — the FA model is the expensive half of every
+ground-truth run, and it no longer repeats.
+
+The oracle is call-compatible with ``GroundTruthClassifier``
+(:meth:`classify_miss` before :meth:`observe`, per reference) and is
+cross-validated against it, count-for-count, by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.classification import MissClass
+from repro.mrc.stack import COLD, StackProfile, compute_profile
+
+
+class StackDistanceOracle:
+    """Replay of Hill's classification from precomputed stack distances.
+
+    The caller must feed *exactly* the reference stream the profile was
+    computed from (same addresses, same order, same line size) —
+    :meth:`observe` advances one position per reference.  A fresh oracle
+    is required per replay; :meth:`SharedGroundTruth.oracle` hands them
+    out cheaply.
+    """
+
+    def __init__(self, profile: StackProfile, capacity_lines: int) -> None:
+        if capacity_lines <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity_lines}"
+            )
+        self.capacity_lines = capacity_lines
+        self._distances = profile.distances
+        self._total = profile.total_refs
+        self._pos = 0
+        self.compulsory = 0
+        self.conflict = 0
+        self.capacity = 0
+
+    def classify_miss(self, addr: int) -> MissClass:
+        """Classify a real-cache miss at the current replay position.
+
+        Mirrors :meth:`GroundTruthClassifier.classify_miss`: must be
+        called *before* :meth:`observe` for the same reference.
+        """
+        if self._pos >= self._total:
+            raise IndexError(
+                f"oracle replayed past its profile ({self._total} refs)"
+            )
+        distance = int(self._distances[self._pos])
+        if distance == COLD:
+            self.compulsory += 1
+            return MissClass.COMPULSORY
+        if distance <= self.capacity_lines:
+            self.conflict += 1
+            return MissClass.CONFLICT
+        self.capacity += 1
+        return MissClass.CAPACITY
+
+    def observe(self, addr: int) -> None:
+        """Advance past one reference (hit or miss), like the FA model."""
+        self._pos += 1
+
+    @property
+    def total_classified(self) -> int:
+        return self.compulsory + self.conflict + self.capacity
+
+    def miss_breakdown(self) -> "dict[str, int]":
+        """Counts per class, shape-compatible with the simulating oracle."""
+        return {
+            "compulsory": self.compulsory,
+            "conflict": self.conflict,
+            "capacity": self.capacity,
+        }
+
+
+class SharedGroundTruth:
+    """One stack pass, many oracles.
+
+    Build once per (trace, line size); :meth:`oracle` then yields a
+    fresh replay oracle per real-cache configuration — the associativity
+    sweep asks for four oracles over the same 16KB capacity and pays for
+    the FA model exactly once.
+    """
+
+    def __init__(
+        self, addresses: "np.ndarray | Iterable[int]", line_size: int = 64
+    ) -> None:
+        self.profile = compute_profile(addresses, line_size)
+
+    @classmethod
+    def from_profile(cls, profile: StackProfile) -> "SharedGroundTruth":
+        shared = cls.__new__(cls)
+        shared.profile = profile
+        return shared
+
+    def oracle(self, capacity_lines: int) -> StackDistanceOracle:
+        return StackDistanceOracle(self.profile, capacity_lines)

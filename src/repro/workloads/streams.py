@@ -123,7 +123,7 @@ class ConflictStream(AddressStream):
     line_stride: int = 3
     gap: int = 4
     _pos: int = field(default=0, repr=False)
-    _order: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _order: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_arrays < 2:
@@ -178,7 +178,7 @@ class PointerChaseStream(AddressStream):
     burst: int = 3
     seed: int = 1
     gap: int = 6
-    _order: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _order: np.ndarray = field(init=False, repr=False)
     _pos: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:

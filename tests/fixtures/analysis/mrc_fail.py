@@ -1,0 +1,38 @@
+# repro-analysis-scope: src simcore mrc
+"""Failing fixture for the mrc scope: RPR010-013 and RPR040.
+
+The miss-ratio-curve engine is simulation core: its sampled curves must
+be byte-reproducible from the seed alone, and its per-reference loop is
+a hot path.  Each helper below is the anti-pattern the registered scope
+must catch.
+"""
+
+import os
+import time
+
+import numpy as np
+
+
+def timestamp_points() -> float:
+    return time.perf_counter()  # RPR010: wall clock in the engine
+
+
+def sample_filter():
+    return np.random.default_rng()  # RPR011: unseeded sampling RNG
+
+
+def hash_salt() -> bytes:
+    return os.urandom(8)  # RPR012: unseedable OS entropy
+
+
+def curve_sizes(sizes: set) -> list:
+    return list(set(sizes))  # RPR013: hash-ordered size ladder
+
+
+class Sampler:
+    def replay(self, refs) -> int:
+        misses = 0
+        for _ in refs:
+            misses += self.profile.curve.cold  # RPR040: chain per ref
+            misses -= self.profile.curve.cold
+        return misses

@@ -1,0 +1,25 @@
+# repro-analysis-scope: src simcore mrc
+"""Passing fixture for the mrc scope: seeded, ordered, hoisted."""
+
+import numpy as np
+
+
+def sample_filter(seed: int) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def hash_salt(seed: int) -> int:
+    return (seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+
+
+def curve_sizes(sizes: set) -> list:
+    return sorted(sizes)
+
+
+class Sampler:
+    def replay(self, refs) -> int:
+        misses = 0
+        cold = self.profile.curve.cold
+        for _ in refs:
+            misses += cold
+        return misses

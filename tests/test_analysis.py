@@ -45,6 +45,13 @@ FAMILIES = [
     ),
     ("obs_schema_fail.py", "obs_schema_ok.py", {"RPR030", "RPR031", "RPR032"}),
     ("hotpath_fail.py", "hotpath_ok.py", {"RPR040", "RPR041"}),
+    # The mrc package is registered simcore scope: determinism and
+    # hot-path loop discipline must reach it (PR 5).
+    (
+        "mrc_fail.py",
+        "mrc_ok.py",
+        {"RPR010", "RPR011", "RPR012", "RPR013", "RPR040"},
+    ),
 ]
 
 
@@ -100,6 +107,13 @@ def test_scope_tags_from_paths():
     assert "harness" in compute_tags("src/repro/harness/executor.py", "")
     assert "obs" in compute_tags("src/repro/obs/events.py", "")
     assert compute_tags("tests/test_foo.py", "") == frozenset({"test"})
+
+
+def test_mrc_package_is_simcore_scope():
+    # The stack-distance engine is simulation core: determinism and
+    # hot-path rules apply, and the package name rides along as a tag.
+    tags = compute_tags("src/repro/mrc/stack.py", "")
+    assert {"src", "simcore", "mrc"} <= tags
 
 
 def test_scope_directive_overrides_path():

@@ -11,12 +11,14 @@ TINY = ExperimentParams(n_refs=6_000, warmup=2_000, suite=["gcc"])
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # Nine paper tables/figures, the two measured §5.6 extensions, and
-        # the per-benchmark sharded cut of the Figure 3 grid.
+        # Nine paper tables/figures, the two measured §5.6 extensions,
+        # the per-benchmark sharded cut of the Figure 3 grid, and the
+        # two miss-ratio-curve subsystem figures.
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "table1", "fig4",
             "fig5", "sec54", "fig6", "fig7",
             "sec56", "assoc", "fig3sweep",
+            "mrc", "mrc_sampled",
         }
 
     def test_run_experiments_by_name(self):
