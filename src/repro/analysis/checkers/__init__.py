@@ -17,6 +17,7 @@ from repro.analysis.checkers.determinism import (
     DeterminismChecker,
     SetOrderConstructorChecker,
 )
+from repro.analysis.checkers.durability import DurabilityChecker
 from repro.analysis.checkers.hotpath import HotPathChecker
 from repro.analysis.checkers.obs_schema import ObsSchemaChecker
 from repro.analysis.checkers.stats import StatsCompletenessChecker
@@ -29,6 +30,7 @@ ALL_CHECKERS: List[Type[Checker]] = [
     ConcurrencyChecker,
     ObsSchemaChecker,
     HotPathChecker,
+    DurabilityChecker,
 ]
 
 

@@ -1,0 +1,137 @@
+"""RPR050-051 — crash-consistency rules for ``harness``/``obs`` code.
+
+PR 6 made every run-directory write crash-consistent: data fsync'd
+before ``os.replace``, parent directory fsync'd after, checksums in
+every artifact (:mod:`repro.harness.durable`).  That guarantee only
+holds if nothing writes *around* the helper.  These rules keep it true:
+
+* **RPR050** — a truncating write (``open(..., "w")``/``"wb"``,
+  ``Path.write_text``/``write_bytes``) in harness/obs code.  Such a
+  write can be torn by a crash and leaves no checksum; route it through
+  :func:`repro.harness.durable.atomic_write_text`.  Append-mode opens
+  are exempt: the events.jsonl protocol is an append stream whose torn
+  tail the validator tolerates by design.
+
+* **RPR051** — ``os.replace`` with no preceding ``fsync`` in the same
+  function.  The rename alone is not an atomic write: after a power cut
+  the rename can be durable while the data is not, leaving a
+  present-but-torn file (exactly the state the ``partial`` fault kind
+  manufactures and the doctor quarantines).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Union
+
+from repro.analysis.core import Checker, ModuleInfo, Violation, dotted_name
+
+#: Attribute calls that truncate-and-write their receiver.
+_RAW_WRITE_METHODS = {"write_text", "write_bytes"}
+
+_Scope = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+
+def _scope_calls(scope: _Scope) -> List[ast.Call]:
+    """Calls lexically in ``scope``, excluding nested function bodies.
+
+    Each function is its own write protocol: an fsync in a nested helper
+    must not license an ``os.replace`` in the enclosing function.
+    """
+    out: List[ast.Call] = []
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Call):
+                out.append(child)
+            walk(child)
+
+    walk(scope)
+    return out
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open`` call, if determinable."""
+    if len(node.args) >= 2:
+        arg = node.args[1]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, str
+            ):
+                return kw.value.value
+            return None
+    return "r"
+
+
+def _is_fsync(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name in {"os.fsync", "fsync"}:
+        return True
+    # Anything delegating to the durable layer fsyncs internally.
+    return name is not None and (
+        name.endswith("fsync_dir") or name.endswith("atomic_write_text")
+    )
+
+
+class DurabilityChecker(Checker):
+    name = "durability"
+    codes: Dict[str, str] = {
+        "RPR050": "raw truncating write in harness/obs code "
+        "(bypasses the fsync'd atomic-write helper; a crash can tear it)",
+        "RPR051": "os.replace without a preceding fsync in the same "
+        "function (rename can outlive the data after a power cut)",
+    }
+    tags: Optional[FrozenSet[str]] = frozenset({"harness", "obs"})
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
+        scopes: List[_Scope] = [module.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            yield from self._check_scope(module, _scope_calls(scope))
+
+    def _check_scope(
+        self, module: ModuleInfo, calls: List[ast.Call]
+    ) -> Iterator[Violation]:
+        fsync_lines = [c.lineno for c in calls if _is_fsync(c)]
+        for call in calls:
+            name = dotted_name(call.func)
+            if name == "open":
+                mode = _open_mode(call)
+                if mode is not None and mode.startswith("w"):
+                    yield module.violation(
+                        self,
+                        "RPR050",
+                        call,
+                        f"open(..., {mode!r}) writes without the atomic "
+                        "helper: use repro.harness.durable.atomic_write_text",
+                    )
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _RAW_WRITE_METHODS
+            ):
+                yield module.violation(
+                    self,
+                    "RPR050",
+                    call,
+                    f".{call.func.attr}() is a bare truncating write: use "
+                    "repro.harness.durable.atomic_write_text",
+                )
+            elif name == "os.replace":
+                if not any(line < call.lineno for line in fsync_lines):
+                    yield module.violation(
+                        self,
+                        "RPR051",
+                        call,
+                        "os.replace with no fsync of the data first: the "
+                        "rename can reach disk before the contents do",
+                    )

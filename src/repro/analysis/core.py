@@ -139,7 +139,7 @@ def compute_tags(rel: str, source_head: str) -> FrozenSet[str]:
         if package in SIMCORE_PACKAGES:
             tags.add("simcore")
             tags.add(package)
-        elif package in {"harness", "obs", "analysis", "experiments"}:
+        elif package in {"harness", "obs", "analysis", "experiments", "faults"}:
             tags.add(package)
     if "tests" in parts:
         tags.add("test")

@@ -11,6 +11,8 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments --resume out/ all                # same thing
     repro-experiments all --jobs 4                     # 4 cells at a time
     repro-experiments all --run-dir out/ --metrics --trace --heartbeat-every 5000
+    repro-experiments all --run-dir out/ --inject checkpoint_write:kill:2
+    python -m repro.harness.doctor out/               # then: ... --resume
 
 Every experiment is routed through :mod:`repro.harness`: each
 (experiment, variant) *cell* runs in its own worker process with an
@@ -35,6 +37,7 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro import faults
 from repro.experiments.base import ExperimentParams, ExperimentResult, format_result
 from repro.harness.cells import (
     SHARDED_EXPERIMENTS,
@@ -173,6 +176,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=argparse.SUPPRESS,  # <cell_id>:<fail|hang|flaky[:N]> (testing)
     )
+    harness.add_argument(
+        "--breaker",
+        type=int,
+        default=5,
+        metavar="K",
+        help="abort cleanly after K consecutive infrastructure failures "
+        "(spawn/worker-loss/checkpoint-IO; 0 disables; default 5)",
+    )
+    faults_group = parser.add_argument_group(
+        "fault injection (crash-consistency testing; off by default)"
+    )
+    faults_group.add_argument(
+        "--inject",
+        default=None,
+        metavar="SITE:KIND[:SEED[:REPEAT]][,...]",
+        help="arm deterministic fault(s) at named injection sites "
+        f"(sites: {', '.join(sorted(faults.SITES))}; kinds: "
+        f"{', '.join(faults.FAULT_KINDS)}); the REPRO_INJECT environment "
+        "variable is read when this flag is absent",
+    )
     obs = parser.add_argument_group("observability (off by default)")
     obs.add_argument(
         "--metrics",
@@ -296,6 +319,15 @@ def main(argv: List[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
 
+    # Arm the seeded fault plan before anything durable happens, so the
+    # manifest write in prepare() is already inside the fault model.
+    plan_text = args.inject or os.environ.get("REPRO_INJECT")
+    if plan_text:
+        try:
+            faults.activate(faults.parse_plan(plan_text))
+        except ValueError as exc:
+            parser.error(str(exc))
+
     resume = args.resume is not None
     run_dir_path = args.resume if isinstance(args.resume, str) else args.run_dir
     if resume and run_dir_path is None:
@@ -305,7 +337,9 @@ def main(argv: List[str] | None = None) -> int:
     if run_dir_path is not None:
         run_dir = RunDirectory(run_dir_path)
         try:
-            run_dir.prepare(params, resume=resume)
+            run_dir.prepare(
+                params, resume=resume, cells=[c.cell_id for c in cells]
+            )
         except CheckpointError as exc:
             parser.error(str(exc))
 
@@ -351,6 +385,7 @@ def main(argv: List[str] | None = None) -> int:
             check_invariants=not args.no_invariants,
             strict=args.strict,
             jobs=jobs,
+            breaker_threshold=args.breaker,
         )
     except ValueError as exc:
         parser.error(f"invalid harness options: {exc}")

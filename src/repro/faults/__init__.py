@@ -1,0 +1,60 @@
+"""Deterministic, seeded fault injection for the harness and obs layers.
+
+The experiment harness sells *exactness*: a crashed campaign, once
+repaired by ``python -m repro.harness.doctor`` and resumed, must produce
+artifacts byte-identical to a run that never crashed.  That claim is
+only worth something if the crash paths are actually exercised, so this
+package makes every failure the run directory will realistically see —
+workers SIGKILLed mid-checkpoint, disk-full, torn ``events.jsonl``
+tails, stale manifests — reproducible on demand.
+
+Design mirrors :mod:`repro.obs`: named injection *sites* are zero-cost
+when nothing is armed (one module-global ``None`` check per operation,
+never per reference), and everything is driven by a seeded
+:class:`FaultPlan` so a failing CI chaos run can be replayed exactly.
+
+* :mod:`repro.faults.sites` — the site catalog (checkpoint write,
+  manifest update, report finalize, event append, worker spawn,
+  mid-simulation tick).
+* :mod:`repro.faults.plan` — :class:`FaultSpec` / :class:`FaultPlan`
+  and the ``SITE:KIND[:SEED[:REPEAT]]`` grammar behind ``--inject`` and
+  ``REPRO_INJECT``.
+* :mod:`repro.faults.runtime` — process-local activation and the
+  effect machinery (raise, ENOSPC, hard kill, torn partial write,
+  seeded delay).
+
+This package imports nothing from the rest of ``repro`` so any layer
+(harness, obs, system) can hook into it without cycles.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    parse_plan,
+)
+from repro.faults.runtime import (
+    activate,
+    active_plan,
+    deactivate,
+    fire,
+    sim_tick_every,
+)
+from repro.faults.sites import SIM_TICK_EVERY, SITES, WRITE_SITES
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "SIM_TICK_EVERY",
+    "SITES",
+    "WRITE_SITES",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fire",
+    "parse_plan",
+    "sim_tick_every",
+]

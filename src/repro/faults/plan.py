@@ -1,0 +1,141 @@
+"""Fault specs and the seeded plan that schedules them.
+
+A :class:`FaultSpec` arms one fault *kind* at one *site*; the spec's
+seed deterministically picks which hit of that site fires (the
+``nth``-hit rule below), so two runs of the same plan against the same
+campaign crash at the same place.  A :class:`FaultPlan` is an immutable,
+picklable bundle of specs — it crosses the process boundary into cell
+workers exactly like :class:`~repro.obs.config.ObsConfig` does.
+
+Grammar (CLI ``--inject`` and the ``REPRO_INJECT`` environment
+variable; comma-separated for several specs)::
+
+    SITE:KIND[:SEED[:REPEAT]]
+
+    checkpoint_write:partial:3      tear the 1st/2nd/3rd... checkpoint
+    worker_spawn:enospc:0:8         fail eight consecutive spawns
+    sim_tick:kill                   die mid-simulation (seed 0)
+
+``KIND`` is one of:
+
+=============  ========================================================
+``kill``       hard process death (``os._exit``), as a SIGKILL would
+``exception``  raise :class:`InjectedCrash` at the site
+``enospc``     raise ``OSError(ENOSPC)``, as a full disk would
+``partial``    write a torn prefix to the site's file, then die
+``delay``      seeded sleep (exercises timeout paths; never corrupts)
+=============  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.faults.sites import SITES
+
+#: Every fault kind a spec may arm.
+FAULT_KINDS = ("kill", "exception", "enospc", "partial", "delay")
+
+#: The seed's nth-hit window: a spec fires on hit ``1 + seed % _NTH_MOD``
+#: of its site.  Small on purpose — short campaigns only hit each site a
+#: handful of times, and a spec whose nth is never reached simply does
+#: not fire (the run completes fault-free, which recovery tests treat as
+#: a trivially consistent outcome).
+_NTH_MOD = 3
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by the ``exception`` fault kind at an injection site."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: fire ``kind`` at hit ``nth`` of ``site``.
+
+    ``repeat`` bounds how many times the spec fires once its nth hit is
+    reached (further hits keep firing until the budget is spent);
+    ``repeat=0`` means unbounded — that is how the circuit-breaker tests
+    model persistently broken infrastructure.
+    """
+
+    site: str
+    kind: str
+    seed: int = 0
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown injection site {self.site!r}; "
+                f"expected one of {', '.join(sorted(SITES))}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}"
+            )
+        if self.seed < 0:
+            raise ValueError("fault seed must be >= 0")
+        if self.repeat < 0:
+            raise ValueError("fault repeat must be >= 0 (0 = unbounded)")
+
+    @property
+    def nth(self) -> int:
+        """The 1-based site hit on which this spec starts firing."""
+        return 1 + self.seed % _NTH_MOD
+
+    def format(self) -> str:
+        return f"{self.site}:{self.kind}:{self.seed}:{self.repeat}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        parts = text.strip().split(":")
+        if not 2 <= len(parts) <= 4 or not parts[0]:
+            raise ValueError(
+                f"bad fault spec {text!r}: expected SITE:KIND[:SEED[:REPEAT]]"
+            )
+        seed = 0
+        repeat = 1
+        try:
+            if len(parts) > 2:
+                seed = int(parts[2])
+            if len(parts) > 3:
+                repeat = int(parts[3])
+        except ValueError:
+            raise ValueError(
+                f"bad fault spec {text!r}: SEED and REPEAT must be integers"
+            ) from None
+        return cls(site=parts[0], kind=parts[1], seed=seed, repeat=repeat)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable bundle of armed fault specs.
+
+    The plan itself carries no mutable state; per-process hit counters
+    live in :mod:`repro.faults.runtime`, so a worker process starts
+    counting its own site hits from zero — deterministic per process,
+    which is what makes a crashed run replayable.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def sites(self) -> List[str]:
+        return sorted({spec.site for spec in self.specs})
+
+    def format(self) -> str:
+        return ",".join(spec.format() for spec in self.specs)
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse a comma-separated spec list into a :class:`FaultPlan`."""
+    specs = tuple(
+        FaultSpec.parse(part) for part in text.split(",") if part.strip()
+    )
+    if not specs:
+        raise ValueError(f"empty fault plan {text!r}")
+    return FaultPlan(specs=specs)

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional
 from repro.experiments.base import ExperimentParams
 from repro.harness.cells import expand_cells
 from repro.harness.checkpoint import RunDirectory
+from repro.harness.durable import atomic_write_text
 from repro.harness.executor import HarnessConfig, run_cells
 from repro.mrc.curve import brute_force_fa_misses, compute_mrc, default_size_ladder
 from repro.obs.spans import NULL_TRACER, Tracer
@@ -308,7 +309,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         payload["spans"] = tracer.to_dicts()
 
     out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     single = payload["single_cell"]
     print(
         f"[bench] single-cell: {single['refs_per_sec']} refs/sec "  # type: ignore[index]

@@ -4,38 +4,55 @@ A *run directory* holds everything one ``repro-experiments`` invocation
 produced::
 
     <run-dir>/
-      manifest.json           # schema + the ExperimentParams of the run
-      cells/<cell_id>.json    # one artifact per completed cell
+      manifest.json           # schema + params + cell plan + checksums
+      manifest.json.bak       # previous good manifest (crash recovery)
+      cells/<cell_id>.json    # one checksummed artifact per completed cell
       report.json             # final per-cell status report
+      quarantine/             # artifacts the doctor refused to trust
 
 Artifacts are schema-versioned (:data:`SCHEMA_VERSION`) and written
-atomically (temp file + ``os.replace``) so an interrupted run never
-leaves a truncated artifact behind.  ``--resume`` loads every artifact
-whose cell id matches, after verifying that the manifest's parameters are
-identical to the current invocation — resuming with different
-``n_refs``/``warmup``/``seed`` would silently mix incomparable numbers,
-so it is refused instead.
+through :func:`repro.harness.durable.atomic_write_text` — temp file,
+data fsync, ``os.replace``, directory fsync — so neither an interrupted
+run nor a post-rename power cut leaves a *silently* truncated artifact
+behind.  Every cell payload embeds the SHA-256 of its canonical result
+JSON, and the manifest keeps a registry of the same checksums; a torn or
+tampered artifact therefore never loads (``--resume`` re-runs the cell),
+and ``python -m repro.harness.doctor`` can classify every file in the
+directory as CLEAN, REPAIRABLE or CORRUPT without re-running anything.
+
+The manifest is rewritten on every checksum registration; immediately
+before each rewrite the previous good copy is preserved as
+``manifest.json.bak``, so even a write torn *at the manifest itself*
+loses at most the newest registry entry — which the doctor rebuilds from
+the artifact's own embedded checksum.
 
 Artifact bytes are deterministic for a given (params, seed): keys are
-sorted and no timestamps or durations are embedded (those live in
-``report.json`` only).  Two runs with the same seed therefore produce
-byte-identical ``cells/*.json`` files, which the test suite asserts.
+sorted and no timestamps or durations are embedded.  Two runs with the
+same seed therefore produce byte-identical ``cells/*.json`` files — and
+a crashed run, once doctored and resumed, converges to the byte-identical
+directory a fault-free run produces.  The crash-matrix tests assert both.
 """
 
 from __future__ import annotations
 
 import json
-import os
+import threading
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union, cast
 
 from repro.experiments.base import ExperimentParams, ExperimentResult
+from repro.harness.durable import atomic_write_text, content_checksum
 
 #: Version of the artifact layout; bump on any incompatible change.
-SCHEMA_VERSION = 1
+#: 2: checksummed cell payloads with origin stubs; manifest carries the
+#: cell plan and checksum registry; durable (fsync'd) writes throughout.
+SCHEMA_VERSION = 2
 
 _MANIFEST = "manifest.json"
+_MANIFEST_BAK = "manifest.json.bak"
 _CELL_DIR = "cells"
+_QUARANTINE_DIR = "quarantine"
 _REPORT = "report.json"
 
 
@@ -47,21 +64,73 @@ def _dump(payload: Dict[str, object]) -> str:
     return json.dumps(payload, sort_keys=True, indent=2) + "\n"
 
 
-def _atomic_write(path: Path, text: str) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
+def canonical_result_json(result_dict: Dict[str, object]) -> str:
+    """The canonical string the artifact checksum is computed over."""
+    return json.dumps(result_dict, sort_keys=True)
 
 
 def _safe_name(cell_id: str) -> str:
     return "".join(c if c.isalnum() or c in "._-" else "_" for c in cell_id)
 
 
+@dataclass(frozen=True)
+class CheckpointedCell:
+    """One verified cell artifact, as ``--resume`` reloads it.
+
+    ``status``/``attempts`` are the *origin stub*: how the result was
+    originally produced (OK on attempt 1, RETRIED on attempt 3, ...).
+    ``report.json`` records resumed cells under their origin stub, which
+    is what makes the final report deterministic across crash/resume.
+    """
+
+    result: ExperimentResult
+    status: str
+    attempts: int
+    checksum: str
+
+
+def verify_artifact_text(
+    text: str, cell_id: Optional[str] = None
+) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+    """Validate one artifact document; returns ``(payload, problem)``.
+
+    Exactly one of the pair is ``None``.  Checks: JSON well-formedness,
+    schema version, cell id agreement (when ``cell_id`` is given), and
+    that the embedded checksum matches the canonical result JSON.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return None, f"not valid JSON (torn write?): {exc}"
+    if not isinstance(payload, dict):
+        return None, "artifact is not a JSON object"
+    doc = cast(Dict[str, object], payload)
+    if doc.get("schema") != SCHEMA_VERSION:
+        return None, f"schema {doc.get('schema')!r} != {SCHEMA_VERSION}"
+    if cell_id is not None and doc.get("cell") != cell_id:
+        return None, f"cell id {doc.get('cell')!r} != {cell_id!r}"
+    result = doc.get("result")
+    if not isinstance(result, dict):
+        return None, "artifact has no result object"
+    expected = content_checksum(
+        canonical_result_json(cast(Dict[str, object], result))
+    )
+    if doc.get("checksum") != expected:
+        return None, (
+            f"checksum mismatch: payload says {doc.get('checksum')!r}, "
+            f"content hashes to {expected!r}"
+        )
+    return doc, None
+
+
 class RunDirectory:
     """One harness run's on-disk state."""
 
-    def __init__(self, path: "Path | str") -> None:
+    def __init__(self, path: Union[Path, str]) -> None:
         self.path = Path(path)
+        # Checksum registrations under --jobs N arrive from several
+        # supervisor threads; manifest read-modify-write is serialised.
+        self._manifest_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Layout
@@ -71,97 +140,216 @@ class RunDirectory:
         return self.path / _MANIFEST
 
     @property
+    def manifest_backup_path(self) -> Path:
+        return self.path / _MANIFEST_BAK
+
+    @property
     def report_path(self) -> Path:
         return self.path / _REPORT
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.path / _QUARANTINE_DIR
 
     def cell_path(self, cell_id: str) -> Path:
         return self.path / _CELL_DIR / f"{_safe_name(cell_id)}.json"
 
+    def cell_dir(self) -> Path:
+        return self.path / _CELL_DIR
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        """The manifest document, or None when absent; torn raises."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"{self.manifest_path} is not valid JSON (torn write?): "
+                f"{exc} — run `python -m repro.harness.doctor "
+                f"{self.path}` to repair"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"{self.manifest_path} is not an object")
+        return cast(Dict[str, object], payload)
+
+    def _write_manifest(self, payload: Dict[str, object]) -> None:
+        """Durably rewrite the manifest, preserving the previous copy.
+
+        The backup write carries no injection site on purpose: faults
+        target the *active* manifest, and recovery leans on the backup
+        being a previously-fsynced good version.
+        """
+        if self.manifest_path.exists():
+            atomic_write_text(
+                self.manifest_backup_path, self.manifest_path.read_text()
+            )
+        atomic_write_text(
+            self.manifest_path, _dump(payload), site="manifest_update"
+        )
+
+    def register_checksum(self, cell_id: str, checksum: str) -> None:
+        """Record a completed cell's artifact checksum in the manifest."""
+        with self._manifest_lock:
+            manifest = self.read_manifest()
+            if manifest is None:
+                raise CheckpointError(
+                    f"{self.path}: cannot register checksum — no manifest "
+                    f"(prepare() was never called)"
+                )
+            registry = manifest.get("checksums")
+            if not isinstance(registry, dict):
+                registry = {}
+            registry = dict(cast(Dict[str, object], registry))
+            registry[cell_id] = checksum
+            manifest["checksums"] = registry
+            self._write_manifest(manifest)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def prepare(self, params: ExperimentParams, *, resume: bool) -> None:
+    def prepare(
+        self,
+        params: ExperimentParams,
+        *,
+        resume: bool,
+        cells: Optional[List[str]] = None,
+    ) -> None:
         """Create (or validate, when resuming) the run directory.
 
-        A fresh run writes a new manifest; stale cell artifacts from a
-        previous run with *matching* parameters are left in place (they
-        are simply overwritten as cells complete).  A fresh run over a
-        directory whose manifest disagrees with ``params`` is refused, as
-        is resuming a directory that has no manifest at all.
+        ``cells`` is the planned cell-id list in spec order; the doctor
+        uses it to rebuild ``report.json`` deterministically and to name
+        what a crashed run lost.  A fresh run over a directory whose
+        manifest disagrees with ``params`` is refused, as is resuming a
+        directory that has no manifest at all.  Checksums already
+        registered by a previous (matching) run are preserved.
         """
-        expected = {"schema": SCHEMA_VERSION, "params": params.to_dict()}
-        if self.manifest_path.exists():
-            try:
-                existing = json.loads(self.manifest_path.read_text())
-            except json.JSONDecodeError as exc:
-                raise CheckpointError(
-                    f"{self.manifest_path} is not valid JSON: {exc}"
-                ) from exc
+        checksums: Dict[str, object] = {}
+        existing = self.read_manifest()
+        if existing is not None:
             if existing.get("schema") != SCHEMA_VERSION:
                 raise CheckpointError(
                     f"{self.path}: manifest schema "
                     f"{existing.get('schema')!r} != {SCHEMA_VERSION} — "
                     "this run directory was written by an incompatible version"
                 )
-            if existing.get("params") != expected["params"]:
+            if existing.get("params") != params.to_dict():
                 raise CheckpointError(
                     f"{self.path}: run directory was created with params "
                     f"{existing.get('params')} but this invocation uses "
-                    f"{expected['params']}; results would not be comparable "
+                    f"{params.to_dict()}; results would not be comparable "
                     "(use a fresh --run-dir)"
                 )
+            prior = existing.get("checksums")
+            if isinstance(prior, dict):
+                checksums = dict(cast(Dict[str, object], prior))
+            if cells is None:
+                prior_cells = existing.get("cells")
+                if isinstance(prior_cells, list):
+                    cells = [str(c) for c in prior_cells]
         elif resume:
             raise CheckpointError(
                 f"{self.path}: nothing to resume — no {_MANIFEST} found"
             )
-        (self.path / _CELL_DIR).mkdir(parents=True, exist_ok=True)
-        _atomic_write(self.manifest_path, _dump(expected))
+        manifest: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "params": params.to_dict(),
+            "cells": list(cells or []),
+            "checksums": checksums,
+        }
+        self.cell_dir().mkdir(parents=True, exist_ok=True)
+        with self._manifest_lock:
+            self._write_manifest(manifest)
 
     # ------------------------------------------------------------------
     # Cell artifacts
     # ------------------------------------------------------------------
-    def save_cell(self, cell_id: str, result: ExperimentResult) -> Path:
-        payload = {
+    def save_cell(
+        self,
+        cell_id: str,
+        result: ExperimentResult,
+        *,
+        status: str = "OK",
+        attempts: int = 1,
+    ) -> Path:
+        """Durably checkpoint one cell: artifact first, then registry.
+
+        A crash between the two writes leaves a valid, checksummed
+        artifact that the manifest does not yet know about — the doctor
+        re-registers it; nothing is lost and nothing torn survives.
+        """
+        result_dict = result.to_dict()
+        checksum = content_checksum(canonical_result_json(result_dict))
+        payload: Dict[str, object] = {
             "schema": SCHEMA_VERSION,
             "cell": cell_id,
-            "result": result.to_dict(),
+            "checksum": checksum,
+            "origin": {"status": status, "attempts": attempts},
+            "result": result_dict,
         }
         path = self.cell_path(cell_id)
-        _atomic_write(path, _dump(payload))
+        atomic_write_text(path, _dump(payload), site="checkpoint_write")
+        self.register_checksum(cell_id, checksum)
         return path
 
-    def load_cell(self, cell_id: str) -> Optional[ExperimentResult]:
-        """The checkpointed result for ``cell_id``, or None.
+    def load_checkpoint(self, cell_id: str) -> Optional[CheckpointedCell]:
+        """The verified checkpoint for ``cell_id``, or None.
 
-        Unreadable or schema-mismatched artifacts count as absent — the
-        cell simply re-runs rather than poisoning the resumed run.
+        Unreadable, schema-mismatched or checksum-failing artifacts
+        count as absent — the cell simply re-runs rather than poisoning
+        the resumed run with corrupt (or torn) data.
         """
         path = self.cell_path(cell_id)
         if not path.exists():
             return None
         try:
-            payload = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
+            text = path.read_text()
+        except OSError:
             return None
-        if payload.get("schema") != SCHEMA_VERSION or payload.get("cell") != cell_id:
+        payload, problem = verify_artifact_text(text, cell_id)
+        if payload is None or problem is not None:
             return None
         try:
-            return ExperimentResult.from_dict(payload["result"])
+            result = ExperimentResult.from_dict(
+                cast(Dict[str, object], payload["result"])
+            )
         except (KeyError, TypeError, ValueError):
             return None
+        origin = payload.get("origin")
+        origin_map = (
+            cast(Dict[str, object], origin) if isinstance(origin, dict) else {}
+        )
+        status = str(origin_map.get("status", "OK"))
+        attempts_obj = origin_map.get("attempts", 1)
+        attempts = attempts_obj if isinstance(attempts_obj, int) else 1
+        return CheckpointedCell(
+            result=result,
+            status=status,
+            attempts=attempts,
+            checksum=str(payload.get("checksum", "")),
+        )
+
+    def load_cell(self, cell_id: str) -> Optional[ExperimentResult]:
+        """The checkpointed result for ``cell_id``, or None."""
+        entry = self.load_checkpoint(cell_id)
+        return entry.result if entry is not None else None
 
     def completed_cells(self) -> List[str]:
-        """Cell ids with a readable artifact (manifest-order not implied)."""
-        cell_dir = self.path / _CELL_DIR
+        """Cell ids with a *verified* artifact (manifest-order not implied)."""
+        cell_dir = self.cell_dir()
         if not cell_dir.is_dir():
             return []
-        out = []
+        out: List[str] = []
         for path in sorted(cell_dir.glob("*.json")):
             try:
-                payload = json.loads(path.read_text())
-            except (json.JSONDecodeError, OSError):
+                text = path.read_text()
+            except OSError:
                 continue
-            if payload.get("schema") == SCHEMA_VERSION and "cell" in payload:
+            payload, problem = verify_artifact_text(text)
+            if payload is not None and problem is None and "cell" in payload:
                 out.append(str(payload["cell"]))
         return out
 
@@ -169,5 +357,7 @@ class RunDirectory:
     # Report
     # ------------------------------------------------------------------
     def save_report(self, report_dict: Dict[str, object]) -> Path:
-        _atomic_write(self.report_path, _dump(report_dict))
+        atomic_write_text(
+            self.report_path, _dump(report_dict), site="report_finalize"
+        )
         return self.report_path

@@ -22,6 +22,22 @@ a serial run.  Artifact bytes are per-cell deterministic and the final
 report lists cells in spec order regardless of completion order, so the
 only observable difference between ``jobs=1`` and ``jobs=N`` is
 wall-clock time (and the interleaving of progress callbacks).
+
+Failures are classified: a cell that *ran and failed* (its code raised,
+or it timed out) is the cell's problem and is retried per config; a
+failure of the machinery *around* the cell — worker spawn error, worker
+death without a result, checkpoint write error — is infrastructure.  A
+run of :attr:`HarnessConfig.breaker_threshold` consecutive
+infrastructure failures trips a circuit breaker: in-flight cells finish,
+every cell not yet started is reported SKIPPED with an explanatory
+error, and the run ends cleanly (degraded, so ``--strict`` exits 1)
+instead of grinding through a campaign on a broken machine.
+
+When a :mod:`repro.faults` plan is armed in the supervisor it crosses
+into every worker (like :class:`~repro.obs.config.ObsConfig` does), and
+the supervisor itself fires the ``worker_spawn`` site before each
+process start — the zero-cost hook pattern means none of this is
+reachable when no plan is armed.
 """
 
 from __future__ import annotations
@@ -33,18 +49,21 @@ import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from multiprocessing.connection import Connection
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.experiments.base import ExperimentParams, ExperimentResult
+from repro.faults import FaultPlan, InjectedCrash
 from repro.harness import invariants
 from repro.harness.cells import CellSpec, FaultInjection, maybe_inject, run_cell
-from repro.harness.checkpoint import RunDirectory
+from repro.harness.checkpoint import CheckpointError, RunDirectory
 from repro.harness.report import CellReport, CellStatus, RunReport
 from repro.obs import events as obs_events
 from repro.obs.config import ObsConfig
 from repro.obs.events import EventLog
 from repro.obs.profiler import maybe_profile
-from repro.obs.spans import NULL_TRACER, Tracer
+from repro.obs.spans import NULL_TRACER, NullTracer, Tracer
 
 #: Called after every cell with its report and result (None when degraded).
 CellCallback = Callable[[CellSpec, CellReport, Optional[ExperimentResult]], None]
@@ -64,6 +83,11 @@ class HarnessConfig:
     dispatch needs worker-process isolation (an in-process cell would
     share and corrupt the global invariant flag, and cannot be killed),
     so ``jobs > 1`` with ``isolate=False`` is rejected.
+
+    ``breaker_threshold`` is how many *consecutive* infrastructure
+    failures (spawn errors, workers dying without a result, checkpoint
+    write errors — not cell bugs or timeouts) open the circuit breaker;
+    0 disables it.
     """
 
     timeout_s: Optional[float] = None
@@ -75,6 +99,7 @@ class HarnessConfig:
     check_invariants: bool = True
     strict: bool = False
     jobs: int = 1
+    breaker_threshold: int = 5
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -87,6 +112,8 @@ class HarnessConfig:
             raise ValueError("jobs must be >= 1")
         if self.jobs > 1 and not self.isolate:
             raise ValueError("jobs > 1 requires worker isolation (isolate=True)")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0 (0 disables)")
 
 
 def backoff_delay(
@@ -115,22 +142,58 @@ _proc_lifecycle_lock = threading.Lock()
 # ----------------------------------------------------------------------
 # One attempt
 # ----------------------------------------------------------------------
-_OK, _ERROR, _TIMEOUT = "ok", "error", "timeout"
+#: Attempt outcome kinds.  ``_INFRA`` marks failures of the machinery
+#: around the cell (spawn, worker death without a result, checkpoint
+#: IO) as opposed to the cell's own code — only these feed the breaker.
+_OK, _ERROR, _TIMEOUT, _INFRA = "ok", "error", "timeout", "infra"
+
+
+class _CircuitBreaker:
+    """Counts *consecutive* infrastructure failures; trips at threshold.
+
+    Shared across every supervisor thread of a run.  Any non-infra
+    attempt outcome resets the streak — a flaky cell retrying on its own
+    bug must never open the breaker.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self._streak = 0
+        self._tripped = False
+        self._lock = threading.Lock()
+
+    def record(self, infra_failure: bool) -> None:
+        if self.threshold <= 0:
+            return
+        with self._lock:
+            self._streak = self._streak + 1 if infra_failure else 0
+            if self._streak >= self.threshold:
+                self._tripped = True
+
+    @property
+    def tripped(self) -> bool:
+        return self._tripped
 
 
 def _worker(
-    conn,
+    conn: Connection,
     spec: CellSpec,
     params: ExperimentParams,
     inject: Optional[FaultInjection],
     attempt: int,
     check_invariants: bool,
     obs_config: Optional[ObsConfig],
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     """Run one cell and ship its result (or traceback) over the pipe."""
     try:
         if check_invariants:
             invariants.set_enabled(True)
+        if fault_plan is not None:
+            # Each worker counts its own site hits from zero, so the
+            # same plan crashes the same cell at the same point on every
+            # replay regardless of scheduling.
+            faults.activate(fault_plan)
         if obs_config is not None:
             # Metrics events append to the shared events.jsonl; every
             # line carries this cell's id (and pid), so concurrent
@@ -169,12 +232,19 @@ def _attempt_isolated(
             attempt,
             config.check_invariants,
             obs_config,
+            faults.active_plan(),
         ),
         daemon=True,
         name=f"repro-cell-{spec.cell_id}",
     )
-    with _proc_lifecycle_lock:
-        proc.start()
+    try:
+        faults.fire("worker_spawn")
+        with _proc_lifecycle_lock:
+            proc.start()
+    except (OSError, InjectedCrash) as exc:
+        parent_conn.close()
+        child_conn.close()
+        return (_INFRA, None, f"worker spawn failed: {exc}")
     child_conn.close()
     timed_out = False
     payload = None
@@ -203,7 +273,10 @@ def _attempt_isolated(
         return (_TIMEOUT, None,
                 f"no result within {config.timeout_s}s; worker killed")
     if payload is None:
-        return (_ERROR, None,
+        # The cell's own exceptions ship a payload; dying without one
+        # means the *process* was lost (OOM kill, segfault, injected
+        # kill) — an infrastructure failure, not a cell bug.
+        return (_INFRA, None,
                 f"worker died with exit code {exitcode} before "
                 "producing a result")
     if payload.get("ok"):
@@ -254,6 +327,7 @@ def _supervise_cell(
     inject: Optional[FaultInjection],
     obs_config: Optional[ObsConfig] = None,
     event_log: Optional[EventLog] = None,
+    breaker: Optional[_CircuitBreaker] = None,
 ) -> Tuple[CellReport, Optional[ExperimentResult]]:
     """Drive one cell through resume-check, attempts, retries, checkpoint.
 
@@ -276,7 +350,7 @@ def _supervise_cell(
     with tracer.span("cell", cell=spec.cell_id) as cell_span:
         report, result = _drive_cell(
             spec, params, config, attempt_fn, run_dir, resume, inject,
-            obs_config, tracer,
+            obs_config, tracer, breaker,
         )
         cell_span.set(status=report.status.value, attempts=report.attempts)
     if trace_on:
@@ -293,13 +367,38 @@ def _drive_cell(
     resume: bool,
     inject: Optional[FaultInjection],
     obs_config: Optional[ObsConfig],
-    tracer,
+    tracer: Union[Tracer, NullTracer],
+    breaker: Optional[_CircuitBreaker] = None,
 ) -> Tuple[CellReport, Optional[ExperimentResult]]:
-    cached = run_dir.load_cell(spec.cell_id) if (run_dir and resume) else None
+    if breaker is not None and breaker.tripped:
+        return (
+            CellReport(
+                spec.cell_id,
+                CellStatus.SKIPPED,
+                attempts=0,
+                seed=params.seed,
+                error=(
+                    "infrastructure circuit breaker open "
+                    f"({breaker.threshold} consecutive infrastructure "
+                    "failures); cell not started — fix the environment "
+                    "and re-run with --resume"
+                ),
+            ),
+            None,
+        )
+
+    cached = run_dir.load_checkpoint(spec.cell_id) if (run_dir and resume) else None
     if cached is not None:
         return (
-            CellReport(spec.cell_id, CellStatus.SKIPPED, attempts=0, seed=params.seed),
-            cached,
+            CellReport(
+                spec.cell_id,
+                CellStatus.SKIPPED,
+                attempts=0,
+                seed=params.seed,
+                origin_status=cached.status,
+                origin_attempts=cached.attempts,
+            ),
+            cached.result,
         )
 
     started = time.perf_counter()
@@ -314,9 +413,13 @@ def _drive_cell(
                 spec, params, config, inject, attempt, obs_config
             )
             attempt_span.set(outcome=kind)
+        if breaker is not None:
+            breaker.record(kind == _INFRA)
         if kind == _OK:
             break
         last_kind, last_error = kind, error
+        if breaker is not None and breaker.tripped:
+            break  # retrying against broken infrastructure helps nobody
         if attempt <= config.retries:
             delay = backoff_delay(config, spec.cell_id, attempt, params.seed)
             with tracer.span("backoff", attempt=attempt, delay_s=round(delay, 3)):
@@ -325,10 +428,25 @@ def _drive_cell(
 
     if result is not None:
         status = CellStatus.OK if attempts == 1 else CellStatus.RETRIED
-        if run_dir is not None:
-            with tracer.span("checkpoint"):
-                run_dir.save_cell(spec.cell_id, result)
         error = None
+        if run_dir is not None:
+            try:
+                with tracer.span("checkpoint"):
+                    run_dir.save_cell(
+                        spec.cell_id,
+                        result,
+                        status=status.value,
+                        attempts=attempts,
+                    )
+            except (OSError, CheckpointError, InjectedCrash) as exc:
+                # The result exists in memory but could not be made
+                # durable; under --resume this cell would silently
+                # re-run, so surface the IO failure as the cell's.
+                if breaker is not None:
+                    breaker.record(True)
+                status = CellStatus.FAILED
+                result = None
+                error = f"checkpoint write failed: {exc}"
     else:
         status = CellStatus.TIMEOUT if last_kind == _TIMEOUT else CellStatus.FAILED
         error = last_error
@@ -377,6 +495,7 @@ def run_cells(
     """
     report = RunReport(params=params.to_dict())
     attempt_fn = _attempt_isolated if config.isolate else _attempt_inline
+    breaker = _CircuitBreaker(config.breaker_threshold)
     event_log: Optional[EventLog] = None
     if obs_config is not None and obs_config.metrics:
         event_log = EventLog(obs_config.events_path)
@@ -390,7 +509,7 @@ def run_cells(
     def supervise(spec: CellSpec) -> Tuple[CellReport, Optional[ExperimentResult]]:
         return _supervise_cell(
             spec, params, config, attempt_fn, run_dir, resume, inject,
-            obs_config, event_log,
+            obs_config, event_log, breaker,
         )
 
     try:

@@ -7,11 +7,23 @@ OK        completed on the first attempt
 RETRIED   completed, but only after one or more failed attempts
 TIMEOUT   the final attempt exceeded the cell timeout and was killed
 FAILED    the final attempt raised or the worker died
-SKIPPED   a checkpoint artifact satisfied the cell (``--resume``)
+SKIPPED   not executed this run: a checkpoint artifact satisfied the
+          cell (``--resume``), or the infrastructure circuit breaker
+          tripped before the cell could start (then ``error`` is set)
 ========  ============================================================
 
 The report is printed as an ASCII table at the end of a run and, when a
 run directory is in use, saved as ``report.json``.
+
+``report.json`` is *deterministic*: durations never appear in it (they
+live in the printed table and in tracing spans/events), and a cell
+satisfied from a checkpoint serialises under its **origin** status — the
+status recorded when the artifact was produced (OK on the first attempt,
+RETRIED after a retry, ...) — not as SKIPPED.  A crashed run, once
+doctored and resumed, therefore converges to a ``report.json`` that is
+byte-identical to a fault-free run's; the crash-matrix tests assert it.
+The in-memory report (and the table) keeps SKIPPED, because "what did
+*this* invocation execute" is what a human watching a resume wants.
 """
 
 from __future__ import annotations
@@ -19,6 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
+
+#: Version of the ``report.json`` document layout.
+#: 2: deterministic serialisation — no ``duration_s``; checkpointed cells
+#: appear under their origin status; summary counts serialised statuses.
+REPORT_SCHEMA_VERSION = 2
 
 
 class CellStatus(Enum):
@@ -45,6 +62,12 @@ class CellReport:
     finished tracing spans — the root ``cell`` span plus one per
     attempt, retry backoff and checkpoint write — as the JSON-ready
     dicts of :meth:`repro.obs.spans.Span.to_dict`.
+
+    ``origin_status``/``origin_attempts`` are set when a ``--resume``
+    satisfied the cell from its artifact: how the result was originally
+    earned.  Serialisation substitutes them for SKIPPED (see module
+    docstring); a breaker-skipped cell has no origin and serialises as
+    the SKIPPED it is.
     """
 
     cell_id: str
@@ -54,13 +77,23 @@ class CellReport:
     seed: int = 0
     error: Optional[str] = None
     spans: Optional[List[Dict[str, object]]] = None
+    origin_status: Optional[str] = None
+    origin_attempts: int = 0
+
+    def serialized_status(self) -> str:
+        """The status this cell reports in ``report.json``."""
+        if self.status is CellStatus.SKIPPED and self.origin_status:
+            return self.origin_status
+        return self.status.value
 
     def to_dict(self) -> Dict[str, object]:
+        from_checkpoint = (
+            self.status is CellStatus.SKIPPED and bool(self.origin_status)
+        )
         d: Dict[str, object] = {
             "cell": self.cell_id,
-            "status": self.status.value,
-            "attempts": self.attempts,
-            "duration_s": round(self.duration_s, 3),
+            "status": self.serialized_status(),
+            "attempts": self.origin_attempts if from_checkpoint else self.attempts,
             "seed": self.seed,
         }
         if self.error:
@@ -82,8 +115,17 @@ class RunReport:
 
     @property
     def degraded(self) -> List[CellReport]:
-        """Cells whose results are missing from this run."""
-        return [c for c in self.cells if not c.status.completed]
+        """Cells whose results are missing from this run.
+
+        A resume-SKIPPED cell has its artifact and is fine; a
+        breaker-SKIPPED cell (error set, no origin) has nothing.
+        """
+        return [
+            c
+            for c in self.cells
+            if not c.status.completed
+            or (c.status is CellStatus.SKIPPED and c.error is not None)
+        ]
 
     @property
     def ok(self) -> bool:
@@ -97,11 +139,14 @@ class RunReport:
         return 1 if strict and not self.ok else 0
 
     def to_dict(self) -> Dict[str, object]:
+        serialized = [c.serialized_status() for c in self.cells]
         return {
-            "schema": 1,
+            "schema": REPORT_SCHEMA_VERSION,
             "params": self.params,
             "cells": [c.to_dict() for c in self.cells],
-            "summary": {s.value.lower(): self.count(s) for s in CellStatus},
+            "summary": {
+                s.value.lower(): serialized.count(s.value) for s in CellStatus
+            },
             "ok": self.ok,
         }
 

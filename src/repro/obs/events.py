@@ -42,6 +42,7 @@ import time
 from pathlib import Path
 from typing import IO, Optional, Tuple
 
+from repro import faults
 from repro.obs.config import ObsConfig
 
 #: Version of the event-line layout; bump on any incompatible change.
@@ -95,6 +96,11 @@ class EventLog:
             record["cell"] = self.cell
         record.update(fields)
         line = json.dumps(record, sort_keys=True) + "\n"
+        if faults.active_plan() is not None:
+            # An injected tear here leaves a partial line with no
+            # newline at the end of events.jsonl — the torn tail the
+            # validator tolerates and the doctor truncates.
+            faults.fire("event_append", path=self.path, payload=line)
         with self._lock:
             if self._fh is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -65,6 +65,34 @@ def schema_drift() -> List[str]:
     return problems
 
 
+def split_torn_tail(text: str) -> Tuple[List[str], Optional[str]]:
+    """Split an events stream, dropping a torn final line if present.
+
+    A crash (power cut, SIGKILL, injected fault) during an append leaves
+    a partial line with no trailing newline at the end of the file; that
+    tail tells you how the run *died*, not that the stream is bad, so it
+    is dropped with a warning rather than failing validation.  Anything
+    unparseable elsewhere — or even an unparseable final line that *is*
+    newline-terminated — is real corruption and stays in the line list
+    for :func:`validate_lines` to reject.
+    """
+    if not text or text.endswith("\n"):
+        return text.splitlines(), None
+    lines = text.splitlines()
+    tail = lines[-1]
+    try:
+        json.loads(tail)
+    except json.JSONDecodeError:
+        return (
+            lines[:-1],
+            f"torn final line dropped ({len(tail)} byte(s), "
+            "no trailing newline — the emitting process died mid-append)",
+        )
+    # Parseable but unterminated: the crash landed exactly between the
+    # payload and the newline; the event itself is intact, keep it.
+    return lines, None
+
+
 def validate_lines(lines: Iterable[str]) -> Tuple[List[dict], List[str]]:
     """Parse and schema-check event lines; returns (events, problems)."""
     events: List[dict] = []
@@ -189,7 +217,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 1
 
-    events, problems = validate_lines(path.read_text().splitlines())
+    lines, torn_warning = split_torn_tail(path.read_text())
+    if torn_warning:
+        print(f"validate: warning: {torn_warning}", file=sys.stderr)
+    events, problems = validate_lines(lines)
     sims_checked = 0
     if args.reconcile and not problems:
         sims_checked, reconcile_problems = reconcile_events(events)

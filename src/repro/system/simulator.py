@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
+from repro import faults
 from repro.cache.stats import SystemStats
 from repro.obs.heartbeat import SimTicker, sim_ticker
 from repro.system.config import MachineConfig, PAPER_MACHINE
@@ -59,15 +60,52 @@ def simulate(
     ticker = sim_ticker(
         bench=trace.name, policy=policy.name, refs=len(trace), warmup=warmup
     )
+    # Consulted once per simulate(), never per reference: 0 unless a
+    # fault plan arming the sim_tick site is active in this process.
+    tick_every = faults.sim_tick_every()
     if ticker is None:
-        # Metrics disabled (the default): the measured loop is exactly
-        # the warmup loop — no per-chunk bookkeeping, no overhead.
-        for addr, load, gap in zip(addresses[warmup:], is_load[warmup:], gaps[warmup:]):
-            access(addr, is_load=load, gap=gap)
-        return system.finish()
+        if tick_every == 0:
+            # Metrics disabled (the default): the measured loop is
+            # exactly the warmup loop — no per-chunk bookkeeping, no
+            # overhead.
+            for addr, load, gap in zip(
+                addresses[warmup:], is_load[warmup:], gaps[warmup:]
+            ):
+                access(addr, is_load=load, gap=gap)
+            return system.finish()
+        return _measure_with_faults(
+            system, tick_every, addresses[warmup:], is_load[warmup:], gaps[warmup:]
+        )
     return _measure_with_ticker(
-        system, ticker, addresses[warmup:], is_load[warmup:], gaps[warmup:]
+        system, ticker, addresses[warmup:], is_load[warmup:], gaps[warmup:],
+        tick_every=tick_every,
     )
+
+
+def _measure_with_faults(
+    system: MemorySystem,
+    tick_every: int,
+    addresses: List[int],
+    is_load: List[bool],
+    gaps: List[int],
+) -> SystemStats:
+    """The measured loop chunked only for mid-simulation fault injection.
+
+    Same references, same order, bit-identical statistics as the plain
+    loop; the only addition is one ``sim_tick`` site hit per
+    ``tick_every`` measured references, so a plan can kill or fail the
+    worker partway through a simulation.
+    """
+    access = system.access
+    n = len(addresses)
+    for start in range(0, n, tick_every):
+        stop = min(start + tick_every, n)
+        for addr, load, gap in zip(
+            addresses[start:stop], is_load[start:stop], gaps[start:stop]
+        ):
+            access(addr, is_load=load, gap=gap)
+        faults.fire("sim_tick")
+    return system.finish()
 
 
 def _measure_with_ticker(
@@ -76,6 +114,8 @@ def _measure_with_ticker(
     addresses: List[int],
     is_load: List[bool],
     gaps: List[int],
+    *,
+    tick_every: int = 0,
 ) -> SystemStats:
     """The measured loop with metrics/heartbeats enabled.
 
@@ -83,7 +123,9 @@ def _measure_with_ticker(
     loop — statistics are bit-identical either way — but in chunks of the
     heartbeat cadence so the ticker can observe running counters between
     chunks.  With heartbeats off (cadence 0) the whole window is one
-    chunk and only the final counter delta is emitted.
+    chunk and only the final counter delta is emitted.  ``tick_every``
+    non-zero additionally hits the ``sim_tick`` fault site once per
+    chunk (the cadences need not agree; the site counts hits, not refs).
     """
     ticker.begin()
     access = system.access
@@ -95,6 +137,8 @@ def _measure_with_ticker(
             addresses[start:stop], is_load[start:stop], gaps[start:stop]
         ):
             access(addr, is_load=load, gap=gap)
+        if tick_every:
+            faults.fire("sim_tick")
         if ticker.every > 0 and stop < n:
             # No heartbeat for the final chunk: sim_end immediately
             # follows with the complete snapshot.

@@ -1,0 +1,21 @@
+# repro-analysis-scope: src harness
+"""Failing fixture for durability: RPR050, RPR051."""
+
+import json
+import os
+from pathlib import Path
+
+
+def save_report(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))  # RPR050: bare truncating write
+
+
+def save_manifest(path: Path, text: str) -> None:
+    with open(path, "w") as fh:  # RPR050: raw open for writing
+        fh.write(text)
+
+
+def sloppy_atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(".tmp")
+    tmp.write_bytes(text.encode())  # RPR050
+    os.replace(tmp, path)  # RPR051: no fsync before the rename

@@ -1,0 +1,29 @@
+# repro-analysis-scope: src harness
+"""Passing fixture for durability: fsync'd writes, append-mode logs."""
+
+import json
+import os
+from pathlib import Path
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w") as fh:  # repro: noqa[RPR050] - the helper itself
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)  # ok: data fsync'd above
+
+
+def save_report(path: Path, payload: dict) -> None:
+    atomic_write_text(path, json.dumps(payload))
+
+
+def append_event(path: Path, line: str) -> None:
+    with open(path, "a") as fh:  # ok: append-mode event stream
+        fh.write(line)
+
+
+def read_manifest(path: Path) -> dict:
+    with open(path) as fh:  # ok: reads are not writes
+        return dict(json.load(fh))

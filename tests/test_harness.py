@@ -234,9 +234,16 @@ class TestExecutor:
         assert by_id["fig3.main"].status is CellStatus.OK
         assert rd.load_cell("fig3.main") is not None
 
+        # report.json is deterministic: the resumed cell serialises
+        # under its origin status (OK), not SKIPPED, and carries no
+        # durations — so a recovered run converges byte-for-byte.
         report_payload = json.loads(rd.report_path.read_text())
         assert report_payload["ok"] is True
-        assert report_payload["summary"]["skipped"] == 1
+        assert report_payload["summary"]["skipped"] == 0
+        assert report_payload["summary"]["ok"] == 2
+        statuses = {c["cell"]: c["status"] for c in report_payload["cells"]}
+        assert statuses == {"table1.main": "OK", "fig3.main": "OK"}
+        assert all("duration_s" not in c for c in report_payload["cells"])
 
     def test_worker_results_match_inline_results(self):
         spec = CellSpec("table1", "main")
@@ -278,11 +285,39 @@ class TestReport:
 
     def test_to_dict_summary(self):
         payload = self.make_report().to_dict()
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["summary"] == {
             "ok": 1, "retried": 0, "timeout": 1, "failed": 0, "skipped": 1,
         }
         assert payload["cells"][1]["error"] == "no result within 2s"
+
+    def test_resumed_cell_serializes_under_origin_status(self):
+        report = RunReport(params=TINY.to_dict())
+        report.add(
+            CellReport(
+                "fig1.main", CellStatus.SKIPPED, attempts=0,
+                origin_status="RETRIED", origin_attempts=3,
+            )
+        )
+        payload = report.to_dict()
+        assert payload["cells"][0]["status"] == "RETRIED"
+        assert payload["cells"][0]["attempts"] == 3
+        assert payload["summary"]["retried"] == 1
+        assert payload["summary"]["skipped"] == 0
+        # The in-memory status (and thus the printed table) stays SKIPPED.
+        assert "SKIPPED" in report.format_table()
+
+    def test_breaker_skipped_cell_is_degraded(self):
+        report = RunReport(params=TINY.to_dict())
+        report.add(
+            CellReport(
+                "fig1.main", CellStatus.SKIPPED, attempts=0,
+                error="infrastructure circuit breaker open",
+            )
+        )
+        assert not report.ok
+        assert report.exit_code(strict=True) == 1
+        assert report.to_dict()["cells"][0]["status"] == "SKIPPED"
 
     def test_format_table(self):
         text = self.make_report().format_table()
@@ -318,7 +353,9 @@ class TestCLIHarness:
         assert rc == 0
         payload = json.loads((tmp_path / "report.json").read_text())
         statuses = {c["cell"]: c["status"] for c in payload["cells"]}
-        assert statuses == {"table1.main": "SKIPPED", "fig3.main": "OK"}
+        # The resumed cell serialises under its origin status — the
+        # final report is indistinguishable from an uninterrupted run.
+        assert statuses == {"table1.main": "OK", "fig3.main": "OK"}
 
     def test_resume_with_positional_dir(self, tmp_path, capsys):
         rc = main(self.ARGS + ["--run-dir", str(tmp_path)])
