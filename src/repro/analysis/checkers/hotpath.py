@@ -1,4 +1,4 @@
-"""RPR040-041 — hot-path hygiene.
+"""RPR040-042 — hot-path hygiene.
 
 The per-reference loop is this repo's entire performance budget: PR 2
 bought ~1.2x by hoisting bound methods and converting numpy arrays to
@@ -8,7 +8,11 @@ loop in the simulation core re-walks the descriptor protocol every
 iteration when a single hoisted local would do.  RPR041 bans ``print``
 in library code — simulation output goes through the ``obs`` event
 stream (or a returned result), never stdout, which the harness owns for
-progress reporting.
+progress reporting.  RPR042 catches the triple-copy shape that hid in
+``simulate()`` for five PRs: a ``.tolist()`` materialisation that is
+then *sliced* repeatedly (``xs[:w]`` + ``xs[w:]``) copies every element
+again per slice — feed one iterator through ``itertools.islice`` (or
+slice the numpy array, whose slices are views) instead.
 """
 
 from __future__ import annotations
@@ -101,12 +105,16 @@ class HotPathChecker(Checker):
         "(hoist it to a local before the loop)",
         "RPR041": "print() in library code (output goes through obs "
         "events or returned results)",
+        "RPR042": "tolist() materialisation sliced repeatedly (each "
+        "slice re-copies the elements; iterate once via islice or "
+        "slice the array before converting)",
     }
     tags: Optional[FrozenSet[str]] = frozenset({"src"})
 
     def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
         if "simcore" in module.tags:
             yield from self._check_loops(module)
+            yield from self._check_tolist_slices(module)
         yield from self._check_prints(module)
 
     # ------------------------------------------------------------------
@@ -134,6 +142,38 @@ class HotPathChecker(Checker):
                 )
 
     # ------------------------------------------------------------------
+    def _check_tolist_slices(self, module: ModuleInfo) -> Iterator[Violation]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            materialised = _tolist_locals(fn)
+            if not materialised:
+                continue
+            slices: Dict[str, List[ast.Subscript]] = {}
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in materialised
+                    and isinstance(node.slice, ast.Slice)
+                ):
+                    slices.setdefault(node.value.id, []).append(node)
+            for name, sites in sorted(slices.items()):
+                if len(sites) < 2:
+                    continue
+                first = min(sites, key=lambda s: (s.lineno, s.col_offset))
+                yield module.violation(
+                    self,
+                    "RPR042",
+                    first,
+                    f"list {name!r} materialised via tolist() is sliced "
+                    f"{len(sites)}x — every slice copies the whole "
+                    f"window; consume one iterator (itertools.islice) "
+                    f"or slice the numpy array first (its slices are "
+                    f"views)",
+                )
+
+    # ------------------------------------------------------------------
     def _check_prints(self, module: ModuleInfo) -> Iterator[Violation]:
         if _is_cli_module(module.tree):
             return
@@ -153,6 +193,35 @@ class HotPathChecker(Checker):
                     "through obs events or returned results, stdout "
                     "belongs to the harness CLI",
                 )
+
+
+def _tolist_locals(fn: ast.AST) -> Set[str]:
+    """Function-local names bound (at least once) to a ``.tolist()`` call.
+
+    Tuple-unpacking targets count too — ``a, b = x.tolist(), y.tolist()``
+    binds both names to materialised lists.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        values = (
+            list(value.elts) if isinstance(value, ast.Tuple) else [value]
+        )
+        if not any(
+            isinstance(v, ast.Call)
+            and isinstance(v.func, ast.Attribute)
+            and v.func.attr == "tolist"
+            for v in values
+        ):
+            continue
+        for tgt in node.targets:
+            elts = tgt.elts if isinstance(tgt, ast.Tuple) else [tgt]
+            for elt in elts:
+                if isinstance(elt, ast.Name):
+                    names.add(elt.id)
+    return names
 
 
 def _is_cli_module(tree: ast.Module) -> bool:

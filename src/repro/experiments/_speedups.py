@@ -13,7 +13,7 @@ from repro.cache.stats import SystemStats
 from repro.experiments.base import ExperimentParams, ExperimentResult
 from repro.system.config import MachineConfig, PAPER_MACHINE
 from repro.system.policies import AssistConfig
-from repro.system.simulator import simulate, speedup
+from repro.system.simulator import mean, simulate, speedup
 from repro.workloads.spec_analogs import build
 
 
@@ -77,14 +77,22 @@ def speedup_table(
     else:
         run_list = [baseline] + run_list
     stats = run_policies_over_suite(run_list, params, suite, machine)
-    sums = {p.name: 0.0 for p in policies}
+    columns: Dict[str, list[float]] = {p.name: [] for p in policies}
     for bench in suite:
         base = stats[bench][baseline.name]
         cells: list[object] = [bench]
         for p in policies:
-            s = speedup(stats[bench][p.name], base)
-            sums[p.name] += s
+            try:
+                s = speedup(stats[bench][p.name], base)
+            except ValueError as exc:
+                # A zero-IPC cell would otherwise abort the whole figure
+                # with no clue which (benchmark, policy) produced it.
+                raise ValueError(
+                    f"speedup of policy {p.name!r} on benchmark {bench!r} "
+                    f"is undefined: {exc}"
+                ) from exc
+            columns[p.name].append(s)
             cells.append(s)
         result.add_row(*cells)
-    result.add_row("AVERAGE", *[sums[p.name] / len(suite) for p in policies])
+    result.add_row("AVERAGE", *[mean(columns[p.name]) for p in policies])
     return result

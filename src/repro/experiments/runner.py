@@ -52,6 +52,7 @@ from repro.harness.checkpoint import CheckpointError, RunDirectory
 from repro.harness.executor import HarnessConfig, run_cells
 from repro.harness.report import CellReport, CellStatus
 from repro.obs.config import ObsConfig
+from repro.system.simulator import ENGINE_ENV_VAR
 
 RunFn = Callable[[ExperimentParams], List[ExperimentResult]]
 
@@ -106,6 +107,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quick", action="store_true", help="small traces for a fast pass"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "vector"),
+        default=None,
+        help="simulation engine: auto (default) picks the vectorised "
+        "engine for eligible cells, scalar pins the per-reference "
+        "reference loop; both are byte-identical (exported to worker "
+        "processes via REPRO_SIM_ENGINE)",
     )
     parser.add_argument(
         "--chart",
@@ -327,6 +337,12 @@ def main(argv: List[str] | None = None) -> int:
             faults.activate(faults.parse_plan(plan_text))
         except ValueError as exc:
             parser.error(str(exc))
+
+    # Worker cells run in separate processes, so the engine choice rides
+    # along in the environment rather than through CellSpec plumbing;
+    # simulate(engine="auto") reads it back at dispatch time.
+    if args.engine is not None:
+        os.environ[ENGINE_ENV_VAR] = args.engine
 
     resume = args.resume is not None
     run_dir_path = args.resume if isinstance(args.resume, str) else args.run_dir

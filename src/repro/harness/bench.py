@@ -62,32 +62,55 @@ SINGLE_CELL_BENCH = "gcc"
 
 
 def measure_single_cell(
-    refs: int, warmup: int, seed: int, repeats: int = 3, tracer: Tracer = NULL_TRACER
+    refs: int,
+    warmup: int,
+    seed: int,
+    repeats: int = 3,
+    tracer: Tracer = NULL_TRACER,
+    engine: str = "auto",
 ) -> Dict[str, object]:
     """Time one trace through one policy; report the best of ``repeats``.
 
     The best (not mean) run is the right summary for a regression gate:
     scheduling noise only ever slows a run down, so the fastest repeat is
-    the closest estimate of the code's true cost.
+    the closest estimate of the code's true cost.  ``engine`` selects the
+    simulation engine (the probe policy is bufferless, so ``"auto"``
+    resolves to the vector engine).
     """
     trace = build(SINGLE_CELL_BENCH, refs, seed)
     best = float("inf")
     for repeat in range(1, repeats + 1):
-        with tracer.span("bench.iteration", repeat=repeat) as span:
+        with tracer.span("bench.iteration", repeat=repeat, engine=engine) as span:
             started = time.perf_counter()
-            simulate(trace, BASELINE, warmup=warmup)
+            simulate(trace, BASELINE, warmup=warmup, engine=engine)
             elapsed = time.perf_counter() - started
             span.set(seconds=round(elapsed, 4))
         best = min(best, elapsed)
     return {
         "bench": SINGLE_CELL_BENCH,
         "policy": BASELINE.name,
+        "engine": engine,
         "refs": refs,
         "warmup": warmup,
         "repeats": repeats,
         "seconds": round(best, 4),
         "refs_per_sec": round(refs / best, 1),
     }
+
+
+def engines_identical(refs: int, warmup: int, seed: int) -> bool:
+    """One run per engine over the probe trace: must agree to the byte.
+
+    The two engines' contract is byte-identical ``SystemStats`` — the
+    bench enforces it on the exact workload it prices, so a published
+    throughput number can never come from an engine that drifted.
+    """
+    trace = build(SINGLE_CELL_BENCH, refs, seed)
+    scalar = simulate(trace, BASELINE, warmup=warmup, engine="scalar")
+    vector = simulate(trace, BASELINE, warmup=warmup, engine="vector")
+    return json.dumps(scalar.as_dict(), sort_keys=True) == json.dumps(
+        vector.as_dict(), sort_keys=True
+    )
 
 
 def measure_mrc(
@@ -271,6 +294,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record a tracing span per bench iteration/sweep into the artifact",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "vector"),
+        default="auto",
+        help="simulation engine for the single-cell probe (default: auto; "
+        "the scalar reference is always measured alongside for the "
+        "engine-speedup figure)",
+    )
     return parser
 
 
@@ -296,10 +327,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             "platform": platform.platform(),
         },
         "single_cell": measure_single_cell(
-            args.refs, args.warmup, args.seed, tracer=tracer
+            args.refs, args.warmup, args.seed, tracer=tracer, engine=args.engine
         ),
+        "single_cell_scalar": measure_single_cell(
+            args.refs, args.warmup, args.seed, tracer=tracer, engine="scalar"
+        ),
+        "engines_identical": engines_identical(args.refs, args.warmup, args.seed),
         "mrc": measure_mrc(args.refs, args.seed, tracer=tracer),
     }
+    scalar_cell = payload["single_cell_scalar"]
+    payload["engine_speedup"] = round(
+        float(payload["single_cell"]["refs_per_sec"])  # type: ignore[index]
+        / float(scalar_cell["refs_per_sec"]),  # type: ignore[index]
+        2,
+    )
     if not args.skip_sweep:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
             payload["sweep"] = measure_sweep(
@@ -312,9 +353,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     atomic_write_text(out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     single = payload["single_cell"]
     print(
-        f"[bench] single-cell: {single['refs_per_sec']} refs/sec "  # type: ignore[index]
+        f"[bench] single-cell ({single['engine']}): "  # type: ignore[index]
+        f"{single['refs_per_sec']} refs/sec "  # type: ignore[index]
         f"({single['refs']} refs, best of {single['repeats']})"  # type: ignore[index]
     )
+    print(
+        f"[bench] single-cell (scalar): {scalar_cell['refs_per_sec']} "  # type: ignore[index]
+        f"refs/sec — engine speedup {payload['engine_speedup']}x, "
+        f"identical stats: {payload['engines_identical']}"
+    )
+    if not payload["engines_identical"]:
+        print(
+            "[bench] ERROR: vector engine disagrees with the scalar reference",
+            file=sys.stderr,
+        )
+        return 1
     mrc = payload["mrc"]
     print(
         f"[bench] mrc: {mrc['refs_per_sec']} refs/sec, "  # type: ignore[index]

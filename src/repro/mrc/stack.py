@@ -207,6 +207,33 @@ def _inversions_above(values: "np.ndarray") -> "np.ndarray":
     return out
 
 
+def stack_distances(blocks: "np.ndarray") -> "np.ndarray":
+    """Exact per-reference FA-LRU stack distances over block numbers.
+
+    ``blocks`` is a one-dimensional integer array of already line-granular
+    block identifiers; the result holds :data:`COLD` for first touches and
+    the 1-based Mattson stack depth otherwise.  This is the vectorised
+    engine described in the module docstring, factored out of
+    :func:`compute_profile` so the set-partitioned simulation engine
+    (:mod:`repro.system.vector`) can share it.  That engine applies it to
+    a stream stably sorted by cache-set index: each set's references are
+    then contiguous and in order, every reference's reuse window lies
+    inside its own set's segment, and references in *earlier* segments
+    have ``prev[j] <= j < prev[t]`` so they never contribute to the
+    inversion correction — the distances within each segment are exactly
+    that set's private stack distances.
+    """
+    n = int(len(blocks))
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    prev = _prev_positions(blocks)
+    duplicates = _inversions_above(prev)
+    positions = np.arange(1, n + 1, dtype=np.int64)
+    distances = positions - prev - duplicates
+    distances[prev == 0] = COLD
+    return distances
+
+
 def compute_profile(
     addresses: "np.ndarray | Iterable[int]", line_size: int = 64
 ) -> StackProfile:
@@ -222,23 +249,11 @@ def compute_profile(
     docstring.
     """
     blocks = _validated_blocks(addresses, line_size)
-    n = int(len(blocks))
-    if n == 0:
-        return StackProfile(
-            line_size=line_size,
-            distances=np.empty(0, dtype=np.int64),
-            cold_misses=0,
-        )
-    prev = _prev_positions(blocks)
-    duplicates = _inversions_above(prev)
-    positions = np.arange(1, n + 1, dtype=np.int64)
-    distances = positions - prev - duplicates
-    cold = prev == 0
-    distances[cold] = COLD
+    distances = stack_distances(blocks)
     return StackProfile(
         line_size=line_size,
         distances=distances,
-        cold_misses=int(cold.sum()),
+        cold_misses=int(np.count_nonzero(distances == COLD)),
     )
 
 

@@ -17,6 +17,7 @@ from repro.system.multithreaded import (
 from repro.system.pac_system import PacMemorySystem, simulate_pac
 from repro.system.policies import BASELINE, AssistConfig, ExclusionMode
 from repro.system.simulator import (
+    ENGINE_ENV_VAR,
     geomean,
     mean,
     simulate,
@@ -24,10 +25,12 @@ from repro.system.simulator import (
     speedup,
 )
 from repro.system.timing import TimingModel
+from repro.system.vector import simulate_vector, vector_supported
 
 __all__ = [
     "AssistConfig",
     "BASELINE",
+    "ENGINE_ENV_VAR",
     "ExclusionMode",
     "MachineConfig",
     "MemorySystem",
@@ -46,5 +49,7 @@ __all__ = [
     "simulate_pac",
     "simulate_policies",
     "simulate_shared",
+    "simulate_vector",
     "speedup",
+    "vector_supported",
 ]

@@ -29,7 +29,7 @@ Per-access flow (paper Section 3-5):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.buffers.assist import AssistBuffer, BufferEntry
 from repro.buffers.history import MissHistoryTable
@@ -143,7 +143,7 @@ class MemorySystem:
         # is reset here automatically instead of leaking warmup counts.
         self.stats.reset_scalars()
 
-    def heartbeat_snapshot(self) -> dict:
+    def heartbeat_snapshot(self) -> Dict[str, float]:
         """Running-rate fields for observability heartbeats.
 
         Cheap derived rates over the live counters — called once per

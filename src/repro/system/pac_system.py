@@ -8,6 +8,8 @@ line swap; misses go to the shared L2/memory model.
 
 from __future__ import annotations
 
+from itertools import islice
+
 from repro.cache.pseudo_assoc import PacHit, PacVariant, PseudoAssociativeCache
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.stats import SystemStats
@@ -86,14 +88,14 @@ def simulate_pac(
     system = PacMemorySystem(variant, machine)
     access = system.access
     # Native lists once, as in repro.system.simulator.simulate(): indexing
-    # a numpy array boxes a fresh scalar per element in the hot loop.
-    addresses = trace.addresses.tolist()
-    is_load = trace.is_load.tolist()
-    gaps = trace.gaps.tolist()
-    for addr, load, gap in zip(addresses[:warmup], is_load[:warmup], gaps[:warmup]):
+    # a numpy array boxes a fresh scalar per element in the hot loop.  A
+    # single shared zip iterator serves both loops — islice consumes the
+    # warmup in place instead of re-copying each list into slices.
+    refs = zip(trace.addresses.tolist(), trace.is_load.tolist(), trace.gaps.tolist())
+    for addr, load, gap in islice(refs, warmup):
         access(addr, is_load=load, gap=gap)
     if warmup:
         system.reset_measurement()
-    for addr, load, gap in zip(addresses[warmup:], is_load[warmup:], gaps[warmup:]):
+    for addr, load, gap in refs:
         access(addr, is_load=load, gap=gap)
     return system.finish()

@@ -1,16 +1,28 @@
 """Trace-driven simulation runner.
 
-Thin orchestration: feed a :class:`~repro.workloads.trace.Trace` through a
-:class:`~repro.system.memory_system.MemorySystem` and return the final
-:class:`~repro.cache.stats.SystemStats`.  Also provides the speedup
-helpers the figures are built from (IPC relative to a baseline policy on
-the same trace) and the geometric/arithmetic means the paper averages
-with.
+Thin orchestration: feed a :class:`~repro.workloads.trace.Trace` through
+an engine and return the final :class:`~repro.cache.stats.SystemStats`.
+Two engines produce byte-identical statistics:
+
+* ``scalar`` — the pinned reference: every reference walks through a
+  live :class:`~repro.system.memory_system.MemorySystem`.
+* ``vector`` — the set-partitioned numpy engine
+  (:mod:`repro.system.vector`), an order of magnitude faster for the
+  bufferless policies it supports.
+
+``engine="auto"`` (the default) picks the vector engine whenever the
+run is eligible and can be overridden per process with the
+``REPRO_SIM_ENGINE`` environment variable (how ``--engine`` reaches
+harness workers).  Also provides the speedup helpers the figures are
+built from (IPC relative to a baseline policy on the same trace) and the
+geometric/arithmetic means the paper averages with.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import os
+from itertools import islice
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro import faults
 from repro.cache.stats import SystemStats
@@ -20,6 +32,15 @@ from repro.system.memory_system import MemorySystem
 from repro.system.policies import AssistConfig
 from repro.workloads.trace import Trace
 
+#: Environment override consulted by ``engine="auto"`` — set by the
+#: experiment runner's ``--engine`` flag so worker processes inherit it.
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+_ENGINES = ("auto", "scalar", "vector")
+
+#: One (address, is_load, gap) triple per reference.
+_Ref = Tuple[int, bool, int]
+
 
 def simulate(
     trace: Trace,
@@ -27,6 +48,7 @@ def simulate(
     machine: MachineConfig = PAPER_MACHINE,
     *,
     warmup: int = 0,
+    engine: str = "auto",
 ) -> SystemStats:
     """Run one trace through one policy on one machine.
 
@@ -39,21 +61,47 @@ def simulate(
     entire trace is warmup would report all-zero statistics, and every
     derived rate (IPC, speedup, hit rates) downstream would silently
     divide by zero or read 0.0.
+
+    ``engine`` selects the implementation: ``"scalar"`` always uses the
+    reference per-reference loop, ``"vector"`` requests the
+    set-partitioned engine, and ``"auto"`` (the default, further
+    overridable via :data:`ENGINE_ENV_VAR`) uses the vector engine when
+    the run is eligible.  Ineligible runs (assist buffer, associative
+    L1 — see :func:`repro.system.vector.vector_supported`) fall back to
+    the scalar engine under either ``"vector"`` or ``"auto"``; the
+    engines are byte-identical, so the choice never changes results.
     """
     if not 0 <= warmup < len(trace):
         raise ValueError(
             f"warmup {warmup} must lie in [0, {len(trace)}) so at least one "
             f"of the trace's {len(trace)} references is measured"
         )
+    resolved = engine
+    if resolved == "auto":
+        resolved = os.environ.get(ENGINE_ENV_VAR, "auto")
+    if resolved not in _ENGINES:
+        raise ValueError(
+            f"unknown engine {resolved!r} (from engine={engine!r} / "
+            f"${ENGINE_ENV_VAR}): expected one of {', '.join(_ENGINES)}"
+        )
+    if resolved != "scalar":
+        from repro.system import vector
+
+        if vector.vector_supported(policy, machine):
+            return vector.simulate_vector(trace, policy, machine, warmup=warmup)
+
     system = MemorySystem(policy, machine)
     access = system.access
     # Convert the trace's numpy arrays to native lists once: indexing a
     # numpy array boxes a fresh scalar object per element, which costs
-    # more than the cache lookup it feeds on short references.
-    addresses = trace.addresses.tolist()
-    is_load = trace.is_load.tolist()
-    gaps = trace.gaps.tolist()
-    for addr, load, gap in zip(addresses[:warmup], is_load[:warmup], gaps[:warmup]):
+    # more than the cache lookup it feeds on short references.  A single
+    # zip iterator is then shared by the warmup and measured loops —
+    # islice() consumes it in place, so neither loop copies the lists
+    # again (slicing them per loop used to triple peak trace memory).
+    refs: Iterator[_Ref] = zip(
+        trace.addresses.tolist(), trace.is_load.tolist(), trace.gaps.tolist()
+    )
+    for addr, load, gap in islice(refs, warmup):
         access(addr, is_load=load, gap=gap)
     if warmup:
         system.reset_measurement()
@@ -63,90 +111,77 @@ def simulate(
     # Consulted once per simulate(), never per reference: 0 unless a
     # fault plan arming the sim_tick site is active in this process.
     tick_every = faults.sim_tick_every()
-    if ticker is None:
-        if tick_every == 0:
-            # Metrics disabled (the default): the measured loop is
-            # exactly the warmup loop — no per-chunk bookkeeping, no
-            # overhead.
-            for addr, load, gap in zip(
-                addresses[warmup:], is_load[warmup:], gaps[warmup:]
-            ):
-                access(addr, is_load=load, gap=gap)
-            return system.finish()
-        return _measure_with_faults(
-            system, tick_every, addresses[warmup:], is_load[warmup:], gaps[warmup:]
-        )
-    return _measure_with_ticker(
-        system, ticker, addresses[warmup:], is_load[warmup:], gaps[warmup:],
-        tick_every=tick_every,
-    )
-
-
-def _measure_with_faults(
-    system: MemorySystem,
-    tick_every: int,
-    addresses: List[int],
-    is_load: List[bool],
-    gaps: List[int],
-) -> SystemStats:
-    """The measured loop chunked only for mid-simulation fault injection.
-
-    Same references, same order, bit-identical statistics as the plain
-    loop; the only addition is one ``sim_tick`` site hit per
-    ``tick_every`` measured references, so a plan can kill or fail the
-    worker partway through a simulation.
-    """
-    access = system.access
-    n = len(addresses)
-    for start in range(0, n, tick_every):
-        stop = min(start + tick_every, n)
-        for addr, load, gap in zip(
-            addresses[start:stop], is_load[start:stop], gaps[start:stop]
-        ):
+    if ticker is None and tick_every == 0:
+        # Metrics disabled (the default): the measured loop is exactly
+        # the warmup loop — no per-chunk bookkeeping, no overhead.
+        for addr, load, gap in refs:
             access(addr, is_load=load, gap=gap)
-        faults.fire("sim_tick")
-    return system.finish()
+        return system.finish()
+    return _measure(system, refs, len(trace) - warmup, ticker, tick_every)
 
 
-def _measure_with_ticker(
+def measure_boundaries(
+    total: int, heartbeat_every: int, tick_every: int
+) -> Iterator[Tuple[int, bool, bool]]:
+    """Chunk boundaries of a measured window of ``total`` references.
+
+    Yields ``(stop, fire, beat)`` triples covering ``(0, total]``: the
+    union of the heartbeat cadence and the ``sim_tick`` fault-site
+    cadence (each 0 when inactive).  ``fire`` marks every multiple of
+    ``tick_every`` plus the end of the window (so a fault plan always
+    gets its shot even on short windows); ``beat`` marks multiples of
+    ``heartbeat_every`` strictly inside the window (no heartbeat for the
+    final boundary: ``sim_end`` immediately follows with the complete
+    snapshot).  Both engines walk this one schedule, so the event stream
+    and fault-site hit counts are engine-independent.
+    """
+    position = 0
+    while position < total:
+        stop = total
+        if heartbeat_every:
+            stop = min(stop, (position // heartbeat_every + 1) * heartbeat_every)
+        if tick_every:
+            stop = min(stop, (position // tick_every + 1) * tick_every)
+        fire = bool(tick_every) and (stop % tick_every == 0 or stop == total)
+        beat = bool(heartbeat_every) and stop % heartbeat_every == 0 and stop < total
+        yield stop, fire, beat
+        position = stop
+
+
+def _measure(
     system: MemorySystem,
-    ticker: SimTicker,
-    addresses: List[int],
-    is_load: List[bool],
-    gaps: List[int],
-    *,
-    tick_every: int = 0,
+    refs: Iterator[_Ref],
+    total: int,
+    ticker: Optional[SimTicker],
+    tick_every: int,
 ) -> SystemStats:
-    """The measured loop with metrics/heartbeats enabled.
+    """The measured loop with metrics and/or fault injection enabled.
 
     Simulates exactly the same references in the same order as the plain
-    loop — statistics are bit-identical either way — but in chunks of the
-    heartbeat cadence so the ticker can observe running counters between
-    chunks.  With heartbeats off (cadence 0) the whole window is one
-    chunk and only the final counter delta is emitted.  ``tick_every``
-    non-zero additionally hits the ``sim_tick`` fault site once per
-    chunk (the cadences need not agree; the site counts hits, not refs).
+    loop — statistics are bit-identical either way — but in chunks at
+    the :func:`measure_boundaries` schedule, honouring *both* cadences
+    when a heartbeat ticker and an armed ``sim_tick`` fault plan are
+    active at once (they need not agree; each keeps its own cadence).
     """
-    ticker.begin()
     access = system.access
-    n = len(addresses)
-    every = ticker.every if ticker.every > 0 else n
-    for start in range(0, n, every):
-        stop = min(start + every, n)
-        for addr, load, gap in zip(
-            addresses[start:stop], is_load[start:stop], gaps[start:stop]
-        ):
+    heartbeat_every = ticker.every if ticker is not None and ticker.every > 0 else 0
+    if ticker is not None:
+        ticker.begin()
+    position = 0
+    for stop, fire, beat in measure_boundaries(total, heartbeat_every, tick_every):
+        for addr, load, gap in islice(refs, stop - position):
             access(addr, is_load=load, gap=gap)
-        if tick_every:
+        position = stop
+        if fire:
             faults.fire("sim_tick")
-        if ticker.every > 0 and stop < n:
-            # No heartbeat for the final chunk: sim_end immediately
-            # follows with the complete snapshot.
+        if beat:
+            assert ticker is not None
             ticker.tick(
                 stop, system.stats.as_dict(), **system.heartbeat_snapshot()
             )
     stats = system.finish()
-    ticker.finish(n, stats.as_dict())
+    if ticker is not None:
+        ticker.finish(total, stats.as_dict())
     return stats
 
 
@@ -156,6 +191,7 @@ def simulate_policies(
     machine: MachineConfig = PAPER_MACHINE,
     *,
     warmup: int = 0,
+    engine: str = "auto",
 ) -> Dict[str, SystemStats]:
     """Run the same trace through several policies (fresh system each).
 
@@ -170,7 +206,10 @@ def simulate_policies(
             "results are keyed by name, so one run would silently "
             "overwrite the other (use AssistConfig.renamed())"
         )
-    return {p.name: simulate(trace, p, machine, warmup=warmup) for p in policies}
+    return {
+        p.name: simulate(trace, p, machine, warmup=warmup, engine=engine)
+        for p in policies
+    }
 
 
 def speedup(stats: SystemStats, baseline: SystemStats) -> float:
@@ -190,18 +229,38 @@ def mean(values: Iterable[float]) -> float:
     """Arithmetic mean (the paper's 'average speedup' bars)."""
     values = list(values)
     if not values:
-        raise ValueError("mean of no values")
+        raise ValueError(
+            "mean of no values — an empty average usually means a figure's "
+            "per-benchmark results were filtered down to nothing"
+        )
     return sum(values) / len(values)
 
 
-def geomean(values: Iterable[float]) -> float:
-    """Geometric mean, for readers who prefer it for speedup ratios."""
+def geomean(
+    values: Iterable[float], names: Optional[Sequence[str]] = None
+) -> float:
+    """Geometric mean, for readers who prefer it for speedup ratios.
+
+    ``names`` optionally labels each value (benchmark names, typically):
+    a non-positive value then aborts the average with an error naming
+    the offending benchmark instead of leaving the caller to bisect a
+    whole figure's worth of cells.
+    """
     values = list(values)
     if not values:
         raise ValueError("geomean of no values")
+    if names is not None and len(names) != len(values):
+        raise ValueError(
+            f"geomean got {len(values)} values but {len(names)} names"
+        )
     product = 1.0
-    for v in values:
-        if v <= 0:
-            raise ValueError("geomean requires positive values")
-        product *= v
+    for index, value in enumerate(values):
+        if value <= 0:
+            label = names[index] if names is not None else f"value #{index}"
+            raise ValueError(
+                f"geomean requires positive values: {label} contributed "
+                f"{value!r} (a zero-IPC cell upstream? its run likely never "
+                "called finish())"
+            )
+        product *= value
     return product ** (1.0 / len(values))

@@ -13,3 +13,13 @@ class Simulator:
 
 def report(value: int) -> None:
     print(value)  # RPR041: library code printing to stdout
+
+
+def replay(trace, warmup: int) -> int:
+    refs = trace.addresses.tolist()
+    total = 0
+    for addr in refs[:warmup]:  # RPR042: materialised list sliced twice
+        total += addr
+    for addr in refs[warmup:]:
+        total -= addr
+    return total

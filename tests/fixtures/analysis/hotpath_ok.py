@@ -2,6 +2,9 @@
 """Passing fixture for hot-path hygiene: hoisted chain, no prints."""
 
 
+from itertools import islice
+
+
 class Simulator:
     def run(self, refs) -> int:
         total = 0
@@ -10,3 +13,13 @@ class Simulator:
             total += l1_stats.hits
             total -= l1_stats.hits
         return total
+
+
+def replay(trace, warmup: int) -> int:
+    # A single slice of a tolist() result is fine (no repeat copying),
+    # and consuming one shared iterator is the preferred shape.
+    refs = iter(trace.addresses.tolist())
+    total = sum(islice(refs, warmup))
+    for addr in refs:
+        total -= addr
+    return total

@@ -44,7 +44,7 @@ FAMILIES = [
         {"RPR020", "RPR021", "RPR022"},
     ),
     ("obs_schema_fail.py", "obs_schema_ok.py", {"RPR030", "RPR031", "RPR032"}),
-    ("hotpath_fail.py", "hotpath_ok.py", {"RPR040", "RPR041"}),
+    ("hotpath_fail.py", "hotpath_ok.py", {"RPR040", "RPR041", "RPR042"}),
     ("durability_fail.py", "durability_ok.py", {"RPR050", "RPR051"}),
     # The mrc package is registered simcore scope: determinism and
     # hot-path loop discipline must reach it (PR 5).

@@ -94,13 +94,15 @@ def _no_env_plan(monkeypatch):
     monkeypatch.delenv("REPRO_INJECT", raising=False)
 
 
-def run_injected(run_dir: Path, plan: str) -> subprocess.CompletedProcess:
+def run_injected(
+    run_dir: Path, plan: str, args: list = ARGS
+) -> subprocess.CompletedProcess:
     """One campaign with the plan armed, in its own interpreter."""
     env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
     env.pop("REPRO_INJECT", None)
     return subprocess.run(
         [sys.executable, "-m", "repro.experiments.runner",
-         *ARGS, "--run-dir", str(run_dir), "--inject", plan],
+         *args, "--run-dir", str(run_dir), "--inject", plan],
         cwd=REPO,
         env=env,
         capture_output=True,
@@ -180,6 +182,59 @@ def baseline_dir(tmp_path_factory) -> Path:
 @pytest.mark.parametrize("combo", REPRESENTATIVE)
 def test_crash_matrix_representative(combo, tmp_path, baseline_dir, capsys):
     crash_doctor_resume(combo, tmp_path, baseline_dir)
+
+
+#: Same campaign with a heartbeat cadence (700) that does NOT divide the
+#: sim_tick fault cadence (1000): the two clocks interleave instead of
+#: coinciding, which is exactly the shape the shared boundary walk in
+#: ``repro.system.simulator.measure_boundaries`` must keep straight.
+DUAL_CADENCE_ARGS = [
+    "table1",
+    "--refs", "4000", "--warmup", "1000", "--suite", "gcc",
+    "--backoff", "0.01", "--jobs", "1", "--strict",
+    "--metrics", "--heartbeat-every", "700",
+]
+
+
+def test_sim_tick_honours_offset_heartbeat_cadence(tmp_path, capsys):
+    """Dual-cadence pin: heartbeats keep their own 700-ref clock while
+    the armed sim_tick site fires on its independent 1000-ref clock —
+    the measured loop must honour both, and the crash/doctor/resume
+    loop must still converge byte-for-byte."""
+    baseline = tmp_path / "baseline"
+    run_dir = tmp_path / "run"
+    run_dir.mkdir()
+    os.environ.pop("REPRO_INJECT", None)
+    assert runner_main([*DUAL_CADENCE_ARGS, "--run-dir", str(baseline)]) == 0
+
+    proc = run_injected(run_dir, "sim_tick:kill:0", args=DUAL_CADENCE_ARGS)
+    assert proc.returncode != 0, f"sim_tick kill did not fire\n{proc.stderr}"
+    # The dying sim got through its 700-ref heartbeat before the tick at
+    # 1000 killed it: both cadences ran, in order, in one measured loop.
+    crashed = [
+        json.loads(line)
+        for line in (run_dir / "events.jsonl").read_text().splitlines()
+    ]
+    beats = [e["refs_done"] for e in crashed if e.get("type") == "heartbeat"]
+    # One beat per attempt (the harness retries through the kill): every
+    # attempt got exactly to 700 and died at the 1000-ref tick.
+    assert beats and set(beats) == {700}, beats
+
+    assert doctor_main([str(run_dir)]) == 0
+    assert (
+        runner_main([*DUAL_CADENCE_ARGS, "--run-dir", str(run_dir), "--resume"])
+        == 0
+    )
+    assert artifact_bytes(run_dir) == artifact_bytes(baseline)
+    assert validate_main([str(run_dir / "events.jsonl"), "--reconcile"]) == 0
+    # The fault-free stream shows the full 700-cadence heartbeat train
+    # (3000 measured refs -> 700..2800) in every simulated cell.
+    events = [
+        json.loads(line)
+        for line in (baseline / "events.jsonl").read_text().splitlines()
+    ]
+    trains = [e["refs_done"] for e in events if e.get("type") == "heartbeat"]
+    assert trains and set(trains) == {700, 1400, 2100, 2800}
 
 
 @pytest.mark.skipif(

@@ -89,6 +89,55 @@ class TestSimulate:
                 == json.dumps(reference.as_dict(), sort_keys=True).encode()
             )
 
+    def test_hot_loop_sheds_triple_copy(self):
+        """Regression for the tolist()-then-double-slice bug: simulate()
+        used to materialise each trace column once via tolist() and then
+        AGAIN via [:warmup] and [warmup:] slices — three full copies per
+        column.  The fix feeds one shared zip iterator through islice,
+        so peak allocation must undercut the old shape by at least the
+        size of one warmup slice's pointer block, with stats untouched."""
+        import json
+        import tracemalloc
+
+        from repro.system.memory_system import MemorySystem
+
+        n, w = 30_000, 15_000
+        t = trace(
+            [0x1000 + (i * 2741) % 65536 for i in range(n)],
+            is_load=[i % 3 != 0 for i in range(n)],
+            gaps=[i % 7 for i in range(n)],
+        )
+
+        def old_style():
+            system = MemorySystem(BASELINE, PAPER_MACHINE)
+            addresses = t.addresses.tolist()
+            is_load = t.is_load.tolist()
+            gaps = t.gaps.tolist()
+            for addr, load, gap in zip(addresses[:w], is_load[:w], gaps[:w]):
+                system.access(addr, is_load=load, gap=gap)
+            system.reset_measurement()
+            for addr, load, gap in zip(addresses[w:], is_load[w:], gaps[w:]):
+                system.access(addr, is_load=load, gap=gap)
+            return system.finish()
+
+        tracemalloc.start()
+        reference = old_style()
+        old_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        fixed = simulate(t, BASELINE, warmup=w, engine="scalar")
+        new_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
+        assert json.dumps(fixed.as_dict(), sort_keys=True) == json.dumps(
+            reference.as_dict(), sort_keys=True
+        )
+        # One shed warmup slice = w pointers of 8 bytes; the real saving
+        # is several times that, but any regression back to whole-column
+        # slicing trips this comfortably.
+        assert new_peak <= old_peak - 8 * w, (new_peak, old_peak)
+
     def test_simulate_policies_runs_each(self):
         t = trace([0x1000, 0x2000] * 5)
         out = simulate_policies(t, victim.table1_policies())
@@ -136,9 +185,30 @@ class TestMeans:
         with pytest.raises(ValueError):
             geomean([])
 
+    def test_empty_mean_message_explains_itself(self):
+        # Regression: the bare "mean of no values" left readers to bisect
+        # which figure filtered its rows away.
+        with pytest.raises(ValueError, match="filtered down to nothing"):
+            mean(v for v in [1.0, -2.0] if v > 5)
+
     def test_geomean_requires_positive(self):
         with pytest.raises(ValueError):
             geomean([1.0, 0.0])
+
+    def test_geomean_zero_names_offending_benchmark(self):
+        # Regression: the error must say WHICH value broke the average —
+        # by benchmark name when names are given...
+        with pytest.raises(
+            ValueError, match=r"swim contributed 0\.0"
+        ):
+            geomean([1.3, 0.0, 1.1], names=["gcc", "swim", "tomcatv"])
+        # ...and by position when they are not.
+        with pytest.raises(ValueError, match=r"value #2 contributed -1\.5"):
+            geomean([1.3, 1.1, -1.5])
+
+    def test_geomean_names_length_checked(self):
+        with pytest.raises(ValueError, match="2 values but 3 names"):
+            geomean([1.0, 2.0], names=["a", "b", "c"])
 
 
 class TestPacSystem:

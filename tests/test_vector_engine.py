@@ -1,0 +1,187 @@
+"""The vectorised engine is a byte-identical drop-in for the scalar loop.
+
+The vector engine (:mod:`repro.system.vector`) re-derives every counter
+of :class:`~repro.cache.stats.SystemStats` with set-partitioned numpy
+algebra instead of a per-reference Python loop.  Nothing here tolerates
+approximation: every test compares ``json.dumps(..., sort_keys=True)``
+of the full ``as_dict()`` tree, so a single off-by-one in any counter —
+or a float that differs in the last ulp of the timing replay — fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import events as obs_events
+from repro.obs.config import ObsConfig
+from repro.obs.validate import main as validate_main
+from repro.obs.validate import reconcile_events, validate_lines
+from repro.system.config import PAPER_MACHINE, SLOW_BUS_MACHINE
+from repro.system.policies import BASELINE
+from repro.system.simulator import ENGINE_ENV_VAR, simulate
+from repro.system.vector import simulate_vector, vector_supported
+from repro.workloads.spec_analogs import EVAL_SUITE, build
+from repro.workloads.trace import Trace
+
+
+def canon(stats) -> str:
+    """Canonical byte string for equality: sorted-keys JSON of as_dict."""
+    return json.dumps(stats.as_dict(), sort_keys=True)
+
+
+#: References as (block, is_load, gap) so the random traces exercise the
+#: writeback algebra and the issue-gap timing replay, not just hits.
+sim_refs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1023),
+        st.booleans(),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def make_trace(refs) -> Trace:
+    return Trace(
+        [b * 64 for b, _, _ in refs],
+        is_load=[ld for _, ld, _ in refs],
+        gaps=[g for _, _, g in refs],
+        name="prop",
+    )
+
+
+class TestByteIdentity:
+    """vector == scalar, byte for byte, over random and suite traces."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(refs=sim_refs, data=st.data())
+    def test_random_traces_random_warmup(self, refs, data):
+        warmup = data.draw(st.integers(min_value=0, max_value=len(refs) - 1))
+        trace = make_trace(refs)
+        scalar = simulate(trace, BASELINE, warmup=warmup, engine="scalar")
+        vector = simulate_vector(trace, BASELINE, warmup=warmup)
+        assert canon(vector) == canon(scalar)
+
+    @settings(max_examples=10, deadline=None)
+    @given(refs=sim_refs)
+    def test_random_traces_slow_bus(self, refs):
+        trace = make_trace(refs)
+        scalar = simulate(
+            trace, BASELINE, SLOW_BUS_MACHINE, warmup=0, engine="scalar"
+        )
+        vector = simulate_vector(trace, BASELINE, SLOW_BUS_MACHINE, warmup=0)
+        assert canon(vector) == canon(scalar)
+
+    @pytest.mark.parametrize("bench", EVAL_SUITE)
+    @pytest.mark.parametrize("warmup", [0, 1, 1500])
+    def test_suite_benchmarks(self, bench, warmup):
+        trace = build(bench, 6_000, 0)
+        scalar = simulate(trace, BASELINE, warmup=warmup, engine="scalar")
+        vector = simulate(trace, BASELINE, warmup=warmup, engine="vector")
+        assert canon(vector) == canon(scalar)
+
+
+class TestEngineDispatch:
+    def test_vector_supported_gating(self):
+        from repro.buffers import victim
+
+        assert vector_supported(BASELINE, PAPER_MACHINE)
+        # Any assist buffer disqualifies the cell (per-reference buffer
+        # state is inherently sequential)...
+        assert not vector_supported(victim.filter_both(), PAPER_MACHINE)
+        # ...as does a set-associative L1.
+        from dataclasses import replace
+
+        l2ish = replace(PAPER_MACHINE, l1=PAPER_MACHINE.l2)
+        assert not vector_supported(BASELINE, l2ish)
+
+    def test_unknown_engine_rejected(self):
+        trace = build("gcc", 100, 0)
+        with pytest.raises(ValueError, match="bogus"):
+            simulate(trace, BASELINE, engine="bogus")
+
+    def test_auto_falls_back_for_unsupported_policy(self):
+        from repro.buffers import victim
+
+        trace = build("gcc", 2_000, 0)
+        policy = victim.filter_both()
+        auto = simulate(trace, BASELINE, warmup=100, engine="auto")
+        vect = simulate(trace, BASELINE, warmup=100, engine="vector")
+        assert canon(auto) == canon(vect)
+        # engine="vector" on an unsupported policy silently runs the
+        # scalar reference — the knob selects an engine *preference*.
+        buffered = simulate(trace, policy, warmup=100, engine="vector")
+        scalar = simulate(trace, policy, warmup=100, engine="scalar")
+        assert canon(buffered) == canon(scalar)
+
+    def test_env_var_steers_auto_but_not_explicit(self, monkeypatch):
+        trace = build("swim", 2_000, 0)
+        monkeypatch.setenv(ENGINE_ENV_VAR, "scalar")
+        via_env = simulate(trace, BASELINE, warmup=100)
+        scalar = simulate(trace, BASELINE, warmup=100, engine="scalar")
+        assert canon(via_env) == canon(scalar)
+        # Explicit engine= wins over the environment.
+        monkeypatch.setenv(ENGINE_ENV_VAR, "vector")
+        explicit = simulate(trace, BASELINE, warmup=100, engine="scalar")
+        assert canon(explicit) == canon(scalar)
+
+    def test_env_var_validated(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="turbo"):
+            simulate(build("gcc", 100, 0), BASELINE)
+
+
+class TestInstrumentedCampaign:
+    """A metrics-on vector run emits the same event stream contract."""
+
+    def _run(self, tmp_path, engine, heartbeat_every=512):
+        path = tmp_path / f"events_{engine}.jsonl"
+        trace = build("gcc", 4_000, 3)
+        obs_events.activate(
+            ObsConfig(events_path=str(path), heartbeat_every=heartbeat_every),
+            cell="vector-test",
+        )
+        try:
+            stats = simulate(trace, BASELINE, warmup=500, engine=engine)
+        finally:
+            obs_events.deactivate()
+        return path, stats
+
+    @staticmethod
+    def _canonical_events(path):
+        events, problems = validate_lines(path.read_text().splitlines())
+        assert problems == []
+        volatile = {"ts", "pid", "sim", "wall_s", "refs_per_sec"}
+        return [
+            {k: v for k, v in e.items() if k not in volatile} for e in events
+        ]
+
+    def test_event_streams_identical(self, tmp_path):
+        vec_path, vec_stats = self._run(tmp_path, "vector")
+        sc_path, sc_stats = self._run(tmp_path, "scalar")
+        assert canon(vec_stats) == canon(sc_stats)
+        assert self._canonical_events(vec_path) == self._canonical_events(
+            sc_path
+        )
+
+    def test_validate_reconcile_cli_passes(self, tmp_path, capsys):
+        path, _ = self._run(tmp_path, "vector")
+        assert validate_main([str(path), "--reconcile"]) == 0
+        events, _ = validate_lines(path.read_text().splitlines())
+        assert reconcile_events(events) == (1, [])
+
+    def test_heartbeat_cadence_preserved(self, tmp_path):
+        path, _ = self._run(tmp_path, "vector", heartbeat_every=700)
+        events, problems = validate_lines(path.read_text().splitlines())
+        assert problems == []
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        # 3500 measured refs at a 700 cadence: beats at 700..2800 (the
+        # 3500 boundary is the end of the run, which emits sim_end, not
+        # a heartbeat) — the vector engine replays the same contract.
+        assert [b["refs_done"] for b in beats] == [700, 1400, 2100, 2800]
