@@ -52,7 +52,7 @@ from repro.harness.checkpoint import CheckpointError, RunDirectory
 from repro.harness.executor import HarnessConfig, run_cells
 from repro.harness.report import CellReport, CellStatus
 from repro.obs.config import ObsConfig
-from repro.system.simulator import ENGINE_ENV_VAR
+from repro.system.simulator import ENGINE_ENV_VAR, validate_engine_env
 
 RunFn = Callable[[ExperimentParams], List[ExperimentResult]]
 
@@ -340,9 +340,15 @@ def main(argv: List[str] | None = None) -> int:
 
     # Worker cells run in separate processes, so the engine choice rides
     # along in the environment rather than through CellSpec plumbing;
-    # simulate(engine="auto") reads it back at dispatch time.
+    # simulate(engine="auto") reads it back at dispatch time.  Validate
+    # the variable up front either way: a typo in an inherited
+    # REPRO_SIM_ENGINE must abort here, not once per cell in workers.
     if args.engine is not None:
         os.environ[ENGINE_ENV_VAR] = args.engine
+    try:
+        validate_engine_env()
+    except ValueError as exc:
+        parser.error(str(exc))
 
     resume = args.resume is not None
     run_dir_path = args.resume if isinstance(args.resume, str) else args.run_dir

@@ -24,7 +24,7 @@ This module simulates the scheme with a software remap table:
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict
 
@@ -78,7 +78,7 @@ class PageRemapper:
         self._page_shift = page_size.bit_length() - 1
         self._colour_of: Dict[int, int] = {}       # page -> assigned colour
         self._counters: Dict[int, int] = defaultdict(int)
-        self._colour_load: Counter = Counter()
+        self._colour_load: Counter[int] = Counter()
         self.remaps = 0
 
     # ------------------------------------------------------------------

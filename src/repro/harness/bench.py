@@ -4,7 +4,10 @@ Measures the numbers every scaling PR must not regress:
 
 * **single-cell throughput** — references simulated per second by one
   :func:`repro.system.simulator.simulate` call (the per-reference hot
-  loop, free of harness overhead);
+  loop, free of harness overhead), measured twice: on the paper's
+  direct-mapped L1 and on a 2-way L1 (the general set-associative
+  vector pass), each alongside the pinned scalar reference so the
+  artifact carries both ``engine_speedup`` figures;
 * **MRC throughput** — the single-pass stack-distance engine against
   the brute-force per-size FA sweep it replaced: both must agree
   exactly, and the artifact records the speedup (the subsystem's
@@ -39,6 +42,7 @@ import platform
 import sys
 import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -49,8 +53,9 @@ from repro.harness.durable import atomic_write_text
 from repro.harness.executor import HarnessConfig, run_cells
 from repro.mrc.curve import brute_force_fa_misses, compute_mrc, default_size_ladder
 from repro.obs.spans import NULL_TRACER, Tracer
+from repro.system.config import MachineConfig, PAPER_MACHINE
 from repro.system.policies import BASELINE
-from repro.system.simulator import simulate
+from repro.system.simulator import simulate, validate_engine_env
 from repro.workloads.spec_analogs import build
 
 #: Version of the BENCH artifact layout; bump on incompatible change.
@@ -61,6 +66,19 @@ BENCH_SCHEMA = 1
 SINGLE_CELL_BENCH = "gcc"
 
 
+#: L1 associativity of the second single-cell probe: the smallest
+#: set-associative point, i.e. the paper's pseudo-associative cell and
+#: the first rung of every associativity ladder.
+ASSOC_PROBE_WAYS = 2
+
+
+def assoc_probe_machine() -> MachineConfig:
+    """The paper machine with a :data:`ASSOC_PROBE_WAYS`-way L1."""
+    return replace(
+        PAPER_MACHINE, l1=replace(PAPER_MACHINE.l1, assoc=ASSOC_PROBE_WAYS)
+    )
+
+
 def measure_single_cell(
     refs: int,
     warmup: int,
@@ -68,6 +86,7 @@ def measure_single_cell(
     repeats: int = 3,
     tracer: Tracer = NULL_TRACER,
     engine: str = "auto",
+    machine: MachineConfig = PAPER_MACHINE,
 ) -> Dict[str, object]:
     """Time one trace through one policy; report the best of ``repeats``.
 
@@ -75,14 +94,14 @@ def measure_single_cell(
     scheduling noise only ever slows a run down, so the fastest repeat is
     the closest estimate of the code's true cost.  ``engine`` selects the
     simulation engine (the probe policy is bufferless, so ``"auto"``
-    resolves to the vector engine).
+    resolves to the vector engine on any ``machine``).
     """
     trace = build(SINGLE_CELL_BENCH, refs, seed)
     best = float("inf")
     for repeat in range(1, repeats + 1):
         with tracer.span("bench.iteration", repeat=repeat, engine=engine) as span:
             started = time.perf_counter()
-            simulate(trace, BASELINE, warmup=warmup, engine=engine)
+            simulate(trace, BASELINE, machine, warmup=warmup, engine=engine)
             elapsed = time.perf_counter() - started
             span.set(seconds=round(elapsed, 4))
         best = min(best, elapsed)
@@ -90,6 +109,7 @@ def measure_single_cell(
         "bench": SINGLE_CELL_BENCH,
         "policy": BASELINE.name,
         "engine": engine,
+        "l1_assoc": machine.l1.assoc,
         "refs": refs,
         "warmup": warmup,
         "repeats": repeats,
@@ -98,7 +118,9 @@ def measure_single_cell(
     }
 
 
-def engines_identical(refs: int, warmup: int, seed: int) -> bool:
+def engines_identical(
+    refs: int, warmup: int, seed: int, machine: MachineConfig = PAPER_MACHINE
+) -> bool:
     """One run per engine over the probe trace: must agree to the byte.
 
     The two engines' contract is byte-identical ``SystemStats`` — the
@@ -106,8 +128,8 @@ def engines_identical(refs: int, warmup: int, seed: int) -> bool:
     throughput number can never come from an engine that drifted.
     """
     trace = build(SINGLE_CELL_BENCH, refs, seed)
-    scalar = simulate(trace, BASELINE, warmup=warmup, engine="scalar")
-    vector = simulate(trace, BASELINE, warmup=warmup, engine="vector")
+    scalar = simulate(trace, BASELINE, machine, warmup=warmup, engine="scalar")
+    vector = simulate(trace, BASELINE, machine, warmup=warmup, engine="vector")
     return json.dumps(scalar.as_dict(), sort_keys=True) == json.dumps(
         vector.as_dict(), sort_keys=True
     )
@@ -237,6 +259,20 @@ def check_regression(
             f"{floor:.0f} (baseline {baseline['single_cell']['refs_per_sec']} "
             f"- {max_regression:.0%} allowance)"
         )
+    if "single_cell_assoc" in baseline and "single_cell_assoc" in payload:
+        assoc_floor = float(
+            baseline["single_cell_assoc"]["refs_per_sec"]
+        ) * (1.0 - max_regression)
+        assoc_measured = float(
+            payload["single_cell_assoc"]["refs_per_sec"]  # type: ignore[index]
+        )
+        if assoc_measured < assoc_floor:
+            return (
+                f"associative-L1 throughput regressed: {assoc_measured:.0f} "
+                f"refs/sec < {assoc_floor:.0f} (baseline "
+                f"{baseline['single_cell_assoc']['refs_per_sec']} "
+                f"- {max_regression:.0%} allowance)"
+            )
     if "mrc" in baseline and "mrc" in payload:
         mrc_floor = float(baseline["mrc"]["refs_per_sec"]) * (1.0 - max_regression)
         mrc_measured = float(payload["mrc"]["refs_per_sec"])  # type: ignore[index]
@@ -317,6 +353,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if jobs < 1:
         print("bench: --jobs must be >= 1", file=sys.stderr)
         return 2
+    try:
+        # A typo'd REPRO_SIM_ENGINE must abort before anything is timed
+        # (or inherited by sweep workers), not fall back per cell.
+        validate_engine_env()
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
 
     tracer = Tracer("bench") if args.trace else NULL_TRACER
     payload: Dict[str, object] = {
@@ -333,12 +376,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.refs, args.warmup, args.seed, tracer=tracer, engine="scalar"
         ),
         "engines_identical": engines_identical(args.refs, args.warmup, args.seed),
+        "single_cell_assoc": measure_single_cell(
+            args.refs, args.warmup, args.seed, tracer=tracer,
+            engine=args.engine, machine=assoc_probe_machine(),
+        ),
+        "single_cell_assoc_scalar": measure_single_cell(
+            args.refs, args.warmup, args.seed, tracer=tracer,
+            engine="scalar", machine=assoc_probe_machine(),
+        ),
+        "engines_identical_assoc": engines_identical(
+            args.refs, args.warmup, args.seed, machine=assoc_probe_machine()
+        ),
         "mrc": measure_mrc(args.refs, args.seed, tracer=tracer),
     }
     scalar_cell = payload["single_cell_scalar"]
     payload["engine_speedup"] = round(
         float(payload["single_cell"]["refs_per_sec"])  # type: ignore[index]
         / float(scalar_cell["refs_per_sec"]),  # type: ignore[index]
+        2,
+    )
+    assoc_scalar_cell = payload["single_cell_assoc_scalar"]
+    payload["engine_speedup_assoc"] = round(
+        float(payload["single_cell_assoc"]["refs_per_sec"])  # type: ignore[index]
+        / float(assoc_scalar_cell["refs_per_sec"]),  # type: ignore[index]
         2,
     )
     if not args.skip_sweep:
@@ -365,6 +425,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not payload["engines_identical"]:
         print(
             "[bench] ERROR: vector engine disagrees with the scalar reference",
+            file=sys.stderr,
+        )
+        return 1
+    assoc_cell = payload["single_cell_assoc"]
+    print(
+        f"[bench] single-cell ({ASSOC_PROBE_WAYS}-way L1, "
+        f"{assoc_cell['engine']}): "  # type: ignore[index]
+        f"{assoc_cell['refs_per_sec']} refs/sec vs "  # type: ignore[index]
+        f"{assoc_scalar_cell['refs_per_sec']} scalar "  # type: ignore[index]
+        f"— engine speedup {payload['engine_speedup_assoc']}x, "
+        f"identical stats: {payload['engines_identical_assoc']}"
+    )
+    if not payload["engines_identical_assoc"]:
+        print(
+            "[bench] ERROR: vector engine disagrees with the scalar "
+            f"reference on the {ASSOC_PROBE_WAYS}-way L1 probe",
             file=sys.stderr,
         )
         return 1

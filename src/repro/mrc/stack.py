@@ -50,7 +50,7 @@ ground-truth replay oracle (:mod:`repro.mrc.oracle`) classify
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -232,6 +232,47 @@ def stack_distances(blocks: "np.ndarray") -> "np.ndarray":
     distances = positions - prev - duplicates
     distances[prev == 0] = COLD
     return distances
+
+
+def set_lru_flags(
+    blocks: "np.ndarray", sets: "np.ndarray", assoc: int
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Per-reference (hit, evict) flags of a set-LRU cache, vectorised.
+
+    ``blocks`` must be a block-number stream **stably sorted by** ``sets``
+    (its per-position set indices), so each set's references form one
+    contiguous, in-order segment.  Set-LRU with ``assoc`` ways is FA-LRU
+    of capacity ``assoc`` within each set, so:
+
+    * a reference **hits** iff its stack distance is finite and
+      ``<= assoc`` (the distances of the sorted stream are each set's
+      private distances — see :func:`stack_distances`);
+    * a miss **evicts** iff the set has already filled all ``assoc``
+      ways, i.e. the count of distinct blocks seen earlier in the
+      segment (cold misses before it) is ``>= assoc`` — matching an LRU
+      victim picker that prefers invalid ways.
+
+    Shared by the simulation engine's L1 and L2 passes
+    (:mod:`repro.system.vector`); the caller scatters the flags back to
+    trace order with the inverse of its sorting permutation.
+    """
+    k = int(len(blocks))
+    if k == 0:
+        empty = np.zeros(0, dtype=bool)
+        return empty, empty.copy()
+    distances = stack_distances(blocks)
+    hit = (distances != COLD) & (distances <= assoc)
+
+    cold = (distances == COLD).astype(np.int64)
+    cold_before = np.cumsum(cold) - cold
+    seg_start = np.empty(k, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(sets[1:], sets[:-1], out=seg_start[1:])
+    positions = np.arange(k, dtype=np.int64)
+    seg_first = np.maximum.accumulate(np.where(seg_start, positions, 0))
+    distinct_before = cold_before - cold_before[seg_first]
+    evict = ~hit & (distinct_before >= assoc)
+    return hit, evict
 
 
 def compute_profile(

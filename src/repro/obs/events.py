@@ -14,6 +14,7 @@ Event vocabulary (``schema`` 1):
 ``run_end``     one per campaign: per-status summary, ok flag
 ``span``        a finished tracing span (see :mod:`repro.obs.spans`)
 ``sim_start``   one per simulation: sim id, bench, policy, refs
+``engine_fallback``  auto engine resolved to scalar: bench, policy, why
 ``heartbeat``   periodic progress: refs done, refs/sec, running rates
 ``counters``    flattened counter *deltas* since the previous snapshot
 ``sim_end``     final flattened counters + wall time for the sim
@@ -55,6 +56,7 @@ EVENT_TYPES = frozenset(
         "run_end",
         "span",
         "sim_start",
+        "engine_fallback",
         "heartbeat",
         "counters",
         "sim_end",

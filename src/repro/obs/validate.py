@@ -32,6 +32,7 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "run_end": ("summary", "ok"),
     "span": ("name", "span_id", "parent_id", "start_ts", "end_ts", "duration_s"),
     "sim_start": ("sim", "bench", "policy", "refs", "warmup"),
+    "engine_fallback": ("bench", "policy", "reason"),
     "heartbeat": ("sim", "refs_done", "refs_per_sec"),
     "counters": ("sim", "delta"),
     "sim_end": ("sim", "refs", "wall_s", "final"),

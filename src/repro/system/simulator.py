@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro import faults
 from repro.cache.stats import SystemStats
+from repro.obs import events as obs_events
 from repro.obs.heartbeat import SimTicker, sim_ticker
 from repro.system.config import MachineConfig, PAPER_MACHINE
 from repro.system.memory_system import MemorySystem
@@ -37,6 +38,25 @@ from repro.workloads.trace import Trace
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
 
 _ENGINES = ("auto", "scalar", "vector")
+
+
+def validate_engine_env() -> Optional[str]:
+    """Fail fast on an invalid :data:`ENGINE_ENV_VAR` value.
+
+    Supervisors (the experiment runner, the bench harness) call this at
+    spawn time, *before* any worker inherits the environment: a typo
+    like ``REPRO_SIM_ENGINE=vecotr`` must abort the campaign up front
+    with the valid choices, not surface as one ``ValueError`` per cell
+    deep inside worker processes.  Returns the (valid) value, or
+    ``None`` when the variable is unset.
+    """
+    value = os.environ.get(ENGINE_ENV_VAR)
+    if value is not None and value not in _ENGINES:
+        raise ValueError(
+            f"${ENGINE_ENV_VAR}={value!r} is not a valid simulation "
+            f"engine: expected one of {', '.join(_ENGINES)}"
+        )
+    return value
 
 #: One (address, is_load, gap) triple per reference.
 _Ref = Tuple[int, bool, int]
@@ -63,13 +83,16 @@ def simulate(
     divide by zero or read 0.0.
 
     ``engine`` selects the implementation: ``"scalar"`` always uses the
-    reference per-reference loop, ``"vector"`` requests the
+    reference per-reference loop, ``"vector"`` *demands* the
     set-partitioned engine, and ``"auto"`` (the default, further
     overridable via :data:`ENGINE_ENV_VAR`) uses the vector engine when
-    the run is eligible.  Ineligible runs (assist buffer, associative
-    L1 — see :func:`repro.system.vector.vector_supported`) fall back to
-    the scalar engine under either ``"vector"`` or ``"auto"``; the
-    engines are byte-identical, so the choice never changes results.
+    the run is eligible.  For an ineligible cell (assist buffer — see
+    :func:`repro.system.vector.vector_ineligibility`) ``"auto"`` falls
+    back to the scalar engine, recording an ``engine_fallback`` event
+    with the reason when metrics are active, while ``"vector"`` raises
+    the reason — a demand that cannot be honoured must not silently
+    time the wrong engine.  The engines are byte-identical, so auto's
+    fallback never changes results.
     """
     if not 0 <= warmup < len(trace):
         raise ValueError(
@@ -87,8 +110,25 @@ def simulate(
     if resolved != "scalar":
         from repro.system import vector
 
-        if vector.vector_supported(policy, machine):
+        reason = vector.vector_ineligibility(policy, machine)
+        if reason is None:
             return vector.simulate_vector(trace, policy, machine, warmup=warmup)
+        if resolved == "vector":
+            raise ValueError(
+                f"engine='vector' cannot run this cell: {reason} — "
+                "use engine='auto' (scalar fallback) or engine='scalar'"
+            )
+        # auto: fall back to the scalar reference, leaving a trace in the
+        # event stream so an instrumented campaign can tell "vector ran"
+        # from "vector silently declined".
+        log = obs_events.active_log()
+        if log is not None:
+            log.emit(
+                "engine_fallback",
+                bench=trace.name,
+                policy=policy.name,
+                reason=reason,
+            )
 
     system = MemorySystem(policy, machine)
     access = system.access

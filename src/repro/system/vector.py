@@ -14,7 +14,10 @@ The engine is exact, not approximate: for every eligible run its
 engine's (``as_dict()`` compares equal, and serialises to the same JSON
 bytes).  Eligibility is the bufferless hierarchy — see
 :func:`vector_supported`; buffered policies keep cross-set
-fully-associative state and stay on the scalar reference engine.
+fully-associative state and stay on the scalar reference engine.  Any
+power-of-two L1 associativity is eligible: direct-mapped sets take the
+shift-compare fast path below, wider sets a per-segment LRU replay
+built from the same Mattson machinery as the L2 pass.
 
 Pass structure
 --------------
@@ -22,11 +25,11 @@ Pass structure
 1. **Partition** — one stable argsort of the trace by L1 set index.
    Each set's reference subsequence is then a contiguous, in-order
    segment of the sorted stream, and all per-set state (the resident
-   tag, the line's dirty bit, the MCT entry) becomes expressible as
-   shifted comparisons within segments:
+   tags, the lines' dirty bits, the MCT entry) becomes expressible as
+   shifted comparisons and prefix sums within segments.  Direct-mapped
+   (``assoc == 1``):
 
-   * direct-mapped hit ⇔ same block as the previous reference in the
-     segment;
+   * hit ⇔ same block as the previous reference in the segment;
    * eviction ⇔ miss that is not the segment's first reference;
    * writeback ⇔ eviction whose victim saw a write since its own fill
      (a windowed sum over a global write-flag cumsum);
@@ -35,6 +38,20 @@ Pass structure
      stored_tag(miss k-2)`` — at the set's k-th miss the MCT holds the
      tag installed by miss k-1's eviction, i.e. the block miss k-2
      brought in.
+
+   Set-associative (``assoc > 1``, :func:`_l1_set_assoc_pass`): hits
+   and evictions come from the shared set-LRU pass
+   (:func:`repro.mrc.stack.set_lru_flags` — stack distance ≤ assoc,
+   eviction once the set is full), and victim *identity* from the
+   deaths-FIFO pairing: call an occurrence a **death** when it is the
+   final touch of one residency of its block (its next same-segment
+   occurrence re-misses, or never happens).  In set-LRU the victim of
+   a segment's k-th eviction is exactly the segment's k-th death in
+   position order — an eviction victim is necessarily dead, the LRU
+   choice picks the oldest last-touch among residents, and a non-dead
+   resident older than the oldest pending death would itself have to
+   be the victim of some eviction, hence dead.  Victim writebacks and
+   MCT entries then read off the victim positions with cumsums.
 
 2. **L2** — the L1 miss stream, stably sorted by L2 set index, priced
    with the exact Mattson stack distances of :mod:`repro.mrc.stack`
@@ -58,14 +75,14 @@ Pass structure
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import faults
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import SystemStats, TimingStats
-from repro.mrc.stack import COLD, stack_distances
+from repro.mrc.stack import set_lru_flags
 from repro.obs.heartbeat import sim_ticker
 from repro.system.config import MachineConfig, PAPER_MACHINE, TimingConfig
 from repro.system.policies import AssistConfig
@@ -73,17 +90,50 @@ from repro.system.simulator import measure_boundaries
 from repro.workloads.trace import Trace
 
 
+def vector_ineligibility(
+    policy: AssistConfig, machine: MachineConfig
+) -> Optional[str]:
+    """Why this cell cannot run on the vector engine, or ``None``.
+
+    The one remaining disqualifier is an assist buffer: it is fully
+    associative *across* sets (probes, swaps, bypasses and prefetches
+    couple the sets together), so its per-reference state is inherently
+    sequential.  The returned reason names the enabled buffer features,
+    so a caller that *demanded* the vector engine learns which knob to
+    blame rather than a generic refusal.  Cache geometry never
+    disqualifies: :class:`~repro.cache.geometry.CacheGeometry` already
+    enforces power-of-two sizes and associativity at construction, and
+    any power-of-two L1 associativity is vectorised
+    (:func:`_l1_set_assoc_pass`).
+    """
+    if policy.buffer_entries > 0:
+        features = []
+        if policy.victim_fills:
+            features.append("victim fills")
+        if policy.prefetch:
+            features.append("next-line prefetch")
+        if policy.exclusion is not None:
+            features.append(f"{policy.exclusion} exclusion")
+        detail = " + ".join(features) if features else "a raw assist buffer"
+        return (
+            f"policy {policy.name!r} drives {detail} through its "
+            f"{policy.buffer_entries}-entry assist buffer, whose "
+            "fully-associative cross-set state must be replayed "
+            "per reference"
+        )
+    return None
+
+
 def vector_supported(policy: AssistConfig, machine: MachineConfig) -> bool:
     """True when the set-partitioned engine can reproduce this run exactly.
 
-    The vector engine models the bufferless hierarchy: an assist buffer
-    is fully associative *across* sets (probes, swaps, bypasses and
-    prefetches couple the sets together), and an associativity > 1 L1
-    needs per-way LRU replay, so both stay on the scalar reference
-    engine.  ``AssistConfig`` validation guarantees a policy with
+    The vector engine models the bufferless hierarchy at any
+    power-of-two L1 associativity; buffered policies stay on the scalar
+    reference engine (see :func:`vector_ineligibility` for the reason
+    text).  ``AssistConfig`` validation guarantees a policy with
     ``buffer_entries == 0`` has no victim/prefetch/exclusion behaviour.
     """
-    return policy.buffer_entries == 0 and machine.l1.assoc == 1
+    return vector_ineligibility(policy, machine) is None
 
 
 # ----------------------------------------------------------------------
@@ -175,6 +225,115 @@ def _l1_direct_mapped_pass(
     return hit, evict, wb, conflict
 
 
+def _l1_set_assoc_pass(
+    blocks: "np.ndarray",
+    writes: "np.ndarray",
+    geometry: CacheGeometry,
+    policy: AssistConfig,
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
+    """The general-associativity form of :func:`_l1_direct_mapped_pass`.
+
+    Same contract — trace-order (hit, eviction, writeback, MCT-conflict)
+    flags over the full trace — for any power-of-two ``assoc``.  Hits
+    and evictions come from the shared set-LRU pass; victim identities
+    from the deaths-FIFO pairing (module docstring); dirty bits from
+    per-block write cumsums between each residency's fill and its death.
+    At ``assoc == 1`` this reproduces the direct-mapped pass exactly
+    (pinned by a test), but the shift-compare fast path stays the
+    dispatch choice there — it needs no stack-distance pass.
+    """
+    n = int(len(blocks))
+    sets = blocks & (geometry.num_sets - 1)
+    order = np.argsort(sets, kind="stable")
+    b = blocks[order]
+    s = sets[order]
+    w = writes[order]
+
+    hit_s, evict_s = set_lru_flags(b, s, geometry.assoc)
+    miss_s = ~hit_s
+
+    # Block-run order: stable sort by block id keeps each block's
+    # occurrences (all in one segment — a block has one set) contiguous
+    # and position-ascending, chaining every occurrence to its next.
+    _, ids = np.unique(b, return_inverse=True)
+    run_order = np.argsort(ids, kind="stable")
+    nxt = np.full(n, n, dtype=np.int64)
+    same_run = ids[run_order][1:] == ids[run_order][:-1]
+    nxt[run_order[:-1]] = np.where(same_run, run_order[1:], n)
+    # A death ends one residency: the block's next touch re-misses, or
+    # never comes (index n hits the appended True).
+    miss_ext = np.concatenate((miss_s, np.ones(1, dtype=bool)))
+    dead = miss_ext[nxt]
+
+    wb_s = np.zeros(n, dtype=bool)
+    conflict_s = np.zeros(n, dtype=bool)
+    evict_pos = np.flatnonzero(evict_s)
+    if len(evict_pos):
+        positions = np.arange(n, dtype=np.int64)
+        seg_start = np.empty(n, dtype=bool)
+        seg_start[0] = True
+        np.not_equal(s[1:], s[:-1], out=seg_start[1:])
+        seg_first = np.maximum.accumulate(np.where(seg_start, positions, 0))
+
+        evict64 = evict_s.astype(np.int64)
+        dead64 = dead.astype(np.int64)
+        evict_before = np.cumsum(evict64) - evict64
+        dead_before = np.cumsum(dead64) - dead64
+        death_idx = np.flatnonzero(dead)
+        # k-th eviction of a segment evicts the segment's k-th death;
+        # segments are contiguous, so "the segment's k-th death" is a
+        # global death index offset by the deaths before the segment.
+        rank = evict_before[evict_pos] - evict_before[seg_first[evict_pos]]
+        victim_pos = death_idx[dead_before[seg_first[evict_pos]] + rank]
+
+        # Victim dirty ⇔ a write touched it between its residency's fill
+        # and its death.  In block-run order every residency starts with
+        # a miss (runs open with a cold miss), so the fill-anchor
+        # accumulate below can never leak across a run boundary.
+        w_run = w[run_order].astype(np.int64)
+        m_run = miss_s[run_order]
+        wcum_run = np.cumsum(w_run)
+        anchor = np.maximum.accumulate(
+            np.where(m_run, np.arange(n, dtype=np.int64), -1)
+        )
+        dirty_run = (wcum_run - wcum_run[anchor] + w_run[anchor]) > 0
+        dirty_at = np.empty(n, dtype=bool)
+        dirty_at[run_order] = dirty_run
+        wb_s[evict_pos] = dirty_at[victim_pos]
+
+        # MCT: at classify time of a miss the set's entry holds the
+        # (masked) tag of the set's most recent earlier eviction — the
+        # victim of global eviction number evict_before[i] (contiguity
+        # again), provided that eviction lies in this segment.
+        victim_tags = b[victim_pos] >> geometry.index_bits
+        miss_pos = np.flatnonzero(miss_s)
+        probe_tags = b[miss_pos] >> geometry.index_bits
+        tag_bits = policy.mct_tag_bits
+        if tag_bits is not None and tag_bits < 63:
+            # Same partial-tag rule as the direct-mapped pass: >= 63
+            # bits cannot truncate a non-negative int64 tag.
+            mask = np.int64((1 << tag_bits) - 1)
+            victim_tags = victim_tags & mask
+            probe_tags = probe_tags & mask
+        prior = evict_before[miss_pos]
+        has_entry = prior - evict_before[seg_first[miss_pos]] > 0
+        match = np.zeros(len(miss_pos), dtype=bool)
+        match[has_entry] = (
+            victim_tags[prior[has_entry] - 1] == probe_tags[has_entry]
+        )
+        conflict_s[miss_pos[match]] = True
+
+    hit = np.empty(n, dtype=bool)
+    evict = np.empty(n, dtype=bool)
+    wb = np.empty(n, dtype=bool)
+    conflict = np.empty(n, dtype=bool)
+    hit[order] = hit_s
+    evict[order] = evict_s
+    wb[order] = wb_s
+    conflict[order] = conflict_s
+    return hit, evict, wb, conflict
+
+
 # ----------------------------------------------------------------------
 # Pass 2: the set-associative L2 over the L1 miss stream
 # ----------------------------------------------------------------------
@@ -184,12 +343,10 @@ def _l2_pass(
     """Per-reference (L2 hit, L2 eviction) flags, in trace order.
 
     Both arrays are full-trace sized but only ever True at L1-miss
-    positions (the only references that reach the L2).  Set-LRU with
-    associativity A is FA-LRU of capacity A within each set, so the
-    exact stack distances of the set-sorted miss stream answer hit/miss
-    (distance ≤ A) and the per-segment count of distinct blocks answers
-    eviction (the LRU victim picker prefers invalid ways, so a miss
-    evicts ⇔ the set already filled all A ways).
+    positions (the only references that reach the L2).  The set-LRU
+    algebra lives in :func:`repro.mrc.stack.set_lru_flags`; this
+    wrapper sorts the miss stream by L2 set and scatters the flags back
+    through both permutations (sort order, then miss positions).
     """
     n = int(len(blocks))
     stream = np.flatnonzero(l1_miss)
@@ -201,20 +358,7 @@ def _l2_pass(
     mb = blocks[stream]
     sets = mb & (geometry.num_sets - 1)
     order = np.argsort(sets, kind="stable")
-    b = mb[order]
-    s = sets[order]
-    distances = stack_distances(b)
-    hit_s = (distances != COLD) & (distances <= geometry.assoc)
-
-    cold = (distances == COLD).astype(np.int64)
-    cold_before = np.cumsum(cold) - cold
-    seg_start = np.empty(k, dtype=bool)
-    seg_start[0] = True
-    np.not_equal(s[1:], s[:-1], out=seg_start[1:])
-    positions = np.arange(k, dtype=np.int64)
-    seg_first = np.maximum.accumulate(np.where(seg_start, positions, 0))
-    distinct_before = cold_before - cold_before[seg_first]
-    evict_s = ~hit_s & (distinct_before >= geometry.assoc)
+    hit_s, evict_s = set_lru_flags(mb[order], sets[order], geometry.assoc)
 
     hit_m = np.empty(k, dtype=bool)
     evict_m = np.empty(k, dtype=bool)
@@ -414,8 +558,9 @@ def simulate_vector(
     """Vectorised run of one trace: byte-identical to the scalar engine.
 
     Callers normally go through :func:`repro.system.simulator.simulate`
-    (which validates arguments and falls back to the scalar engine for
-    unsupported policies); this function requires an eligible policy.
+    (whose ``engine="auto"`` falls back to the scalar engine for
+    ineligible cells); this function requires an eligible policy and
+    raises with the :func:`vector_ineligibility` reason otherwise.
     """
     n = len(trace)
     if not 0 <= warmup < n:
@@ -423,16 +568,19 @@ def simulate_vector(
             f"warmup {warmup} must lie in [0, {n}) so at least one "
             f"of the trace's {n} references is measured"
         )
-    if not vector_supported(policy, machine):
+    reason = vector_ineligibility(policy, machine)
+    if reason is not None:
         raise ValueError(
-            f"policy {policy.name!r} on this machine is not vector-eligible "
-            "(assist buffer or associative L1) — use the scalar engine"
+            f"not vector-eligible: {reason} — use the scalar engine"
         )
     geometry = machine.l1
     blocks = trace.addresses >> geometry.offset_bits
     writes = np.logical_not(trace.is_load)
 
-    l1_hit, l1_evict, l1_wb, conflict = _l1_direct_mapped_pass(
+    l1_pass = (
+        _l1_direct_mapped_pass if geometry.assoc == 1 else _l1_set_assoc_pass
+    )
+    l1_hit, l1_evict, l1_wb, conflict = l1_pass(
         blocks, writes, geometry, policy
     )
     l1_miss = np.logical_not(l1_hit)

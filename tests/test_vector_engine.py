@@ -11,7 +11,7 @@ or a float that differs in the last ulp of the timing replay — fails.
 from __future__ import annotations
 
 import json
-import os
+from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings
@@ -21,10 +21,14 @@ from repro.obs import events as obs_events
 from repro.obs.config import ObsConfig
 from repro.obs.validate import main as validate_main
 from repro.obs.validate import reconcile_events, validate_lines
-from repro.system.config import PAPER_MACHINE, SLOW_BUS_MACHINE
-from repro.system.policies import BASELINE
+from repro.system.config import MachineConfig, PAPER_MACHINE, SLOW_BUS_MACHINE
+from repro.system.policies import AssistConfig, BASELINE, ExclusionMode
 from repro.system.simulator import ENGINE_ENV_VAR, simulate
-from repro.system.vector import simulate_vector, vector_supported
+from repro.system.vector import (
+    simulate_vector,
+    vector_ineligibility,
+    vector_supported,
+)
 from repro.workloads.spec_analogs import EVAL_SUITE, build
 from repro.workloads.trace import Trace
 
@@ -32,6 +36,11 @@ from repro.workloads.trace import Trace
 def canon(stats) -> str:
     """Canonical byte string for equality: sorted-keys JSON of as_dict."""
     return json.dumps(stats.as_dict(), sort_keys=True)
+
+
+def machine_with_assoc(assoc: int, base: MachineConfig = PAPER_MACHINE):
+    """The base machine with its L1 widened to ``assoc`` ways."""
+    return replace(base, l1=replace(base.l1, assoc=assoc))
 
 
 #: References as (block, is_load, gap) so the random traces exercise the
@@ -68,6 +77,32 @@ class TestByteIdentity:
         vector = simulate_vector(trace, BASELINE, warmup=warmup)
         assert canon(vector) == canon(scalar)
 
+    @settings(max_examples=40, deadline=None)
+    @given(refs=sim_refs, data=st.data())
+    def test_random_traces_random_assoc(self, refs, data):
+        # The general set-associative pass (deaths-FIFO victims) against
+        # the scalar per-way LRU replay, over every supported width.
+        warmup = data.draw(st.integers(min_value=0, max_value=len(refs) - 1))
+        assoc = data.draw(st.sampled_from([1, 2, 4, 8]))
+        machine = machine_with_assoc(assoc)
+        trace = make_trace(refs)
+        scalar = simulate(trace, BASELINE, machine, warmup=warmup, engine="scalar")
+        vector = simulate_vector(trace, BASELINE, machine, warmup=warmup)
+        assert canon(vector) == canon(scalar)
+
+    @settings(max_examples=15, deadline=None)
+    @given(refs=sim_refs, data=st.data())
+    def test_random_traces_partial_tags_assoc(self, refs, data):
+        # Partial MCT tags bias classification toward conflict — the
+        # stress case for the victim-tag masking in the associative pass.
+        bits = data.draw(st.sampled_from([1, 4, 8, 63]))
+        policy = AssistConfig(name=f"tag{bits}", mct_tag_bits=bits)
+        machine = machine_with_assoc(data.draw(st.sampled_from([2, 4])))
+        trace = make_trace(refs)
+        scalar = simulate(trace, policy, machine, warmup=0, engine="scalar")
+        vector = simulate_vector(trace, policy, machine, warmup=0)
+        assert canon(vector) == canon(scalar)
+
     @settings(max_examples=10, deadline=None)
     @given(refs=sim_refs)
     def test_random_traces_slow_bus(self, refs):
@@ -78,6 +113,15 @@ class TestByteIdentity:
         vector = simulate_vector(trace, BASELINE, SLOW_BUS_MACHINE, warmup=0)
         assert canon(vector) == canon(scalar)
 
+    @settings(max_examples=10, deadline=None)
+    @given(refs=sim_refs)
+    def test_random_traces_slow_bus_assoc(self, refs):
+        machine = machine_with_assoc(4, SLOW_BUS_MACHINE)
+        trace = make_trace(refs)
+        scalar = simulate(trace, BASELINE, machine, warmup=0, engine="scalar")
+        vector = simulate_vector(trace, BASELINE, machine, warmup=0)
+        assert canon(vector) == canon(scalar)
+
     @pytest.mark.parametrize("bench", EVAL_SUITE)
     @pytest.mark.parametrize("warmup", [0, 1, 1500])
     def test_suite_benchmarks(self, bench, warmup):
@@ -85,6 +129,34 @@ class TestByteIdentity:
         scalar = simulate(trace, BASELINE, warmup=warmup, engine="scalar")
         vector = simulate(trace, BASELINE, warmup=warmup, engine="vector")
         assert canon(vector) == canon(scalar)
+
+    @pytest.mark.parametrize("bench", EVAL_SUITE)
+    @pytest.mark.parametrize("assoc", [2, 4, 8])
+    def test_suite_benchmarks_assoc(self, bench, assoc):
+        machine = machine_with_assoc(assoc)
+        trace = build(bench, 6_000, 0)
+        scalar = simulate(trace, BASELINE, machine, warmup=500, engine="scalar")
+        vector = simulate(trace, BASELINE, machine, warmup=500, engine="vector")
+        assert canon(vector) == canon(scalar)
+
+    def test_general_pass_subsumes_direct_mapped(self):
+        # At assoc == 1 the deaths-FIFO pass and the shift-compare fast
+        # path must produce identical flag arrays — the dispatch choice
+        # between them is purely a performance decision.
+        import numpy as np
+
+        from repro.system.vector import (
+            _l1_direct_mapped_pass,
+            _l1_set_assoc_pass,
+        )
+
+        trace = build("gcc", 5_000, 1)
+        blocks = trace.addresses >> PAPER_MACHINE.l1.offset_bits
+        writes = np.logical_not(trace.is_load)
+        dm = _l1_direct_mapped_pass(blocks, writes, PAPER_MACHINE.l1, BASELINE)
+        general = _l1_set_assoc_pass(blocks, writes, PAPER_MACHINE.l1, BASELINE)
+        for name, a, b in zip(("hit", "evict", "wb", "conflict"), dm, general):
+            assert np.array_equal(a, b), name
 
 
 class TestEngineDispatch:
@@ -95,30 +167,63 @@ class TestEngineDispatch:
         # Any assist buffer disqualifies the cell (per-reference buffer
         # state is inherently sequential)...
         assert not vector_supported(victim.filter_both(), PAPER_MACHINE)
-        # ...as does a set-associative L1.
-        from dataclasses import replace
-
+        # ...but a set-associative L1 no longer does: the general pass
+        # replays per-set LRU with stack distances.
         l2ish = replace(PAPER_MACHINE, l1=PAPER_MACHINE.l2)
-        assert not vector_supported(BASELINE, l2ish)
+        assert vector_supported(BASELINE, l2ish)
+        assert vector_supported(BASELINE, machine_with_assoc(8))
+
+    @pytest.mark.parametrize(
+        ("policy_kwargs", "expect"),
+        [
+            ({"victim_fills": True}, "victim fills"),
+            ({"prefetch": True}, "next-line prefetch"),
+            ({"exclusion": ExclusionMode.CAPACITY}, "capacity exclusion"),
+            ({}, "raw assist buffer"),
+        ],
+        ids=["victim-fills", "prefetch", "exclusion", "raw-buffer"],
+    )
+    def test_ineligibility_blames_the_feature(self, policy_kwargs, expect):
+        policy = AssistConfig(name="culprit", buffer_entries=4, **policy_kwargs)
+        reason = vector_ineligibility(policy, PAPER_MACHINE)
+        assert reason is not None
+        assert expect in reason
+        assert "'culprit'" in reason
+
+    def test_eligible_policy_has_no_ineligibility_reason(self):
+        assert vector_ineligibility(BASELINE, PAPER_MACHINE) is None
+        assert vector_ineligibility(BASELINE, machine_with_assoc(4)) is None
 
     def test_unknown_engine_rejected(self):
         trace = build("gcc", 100, 0)
         with pytest.raises(ValueError, match="bogus"):
             simulate(trace, BASELINE, engine="bogus")
 
+    def test_vector_demand_raises_with_blame(self):
+        # engine="vector" is a demand, not a preference: an ineligible
+        # cell must fail loudly and say which feature forced scalar.
+        from repro.buffers import victim
+
+        trace = build("gcc", 2_000, 0)
+        with pytest.raises(ValueError, match="assist buffer") as excinfo:
+            simulate(trace, victim.filter_both(), warmup=100, engine="vector")
+        assert "engine='auto'" in str(excinfo.value)
+
+    def test_simulate_vector_raises_with_blame(self):
+        from repro.buffers import victim
+
+        trace = build("gcc", 500, 0)
+        with pytest.raises(ValueError, match="not vector-eligible"):
+            simulate_vector(trace, victim.filter_both(), warmup=0)
+
     def test_auto_falls_back_for_unsupported_policy(self):
         from repro.buffers import victim
 
         trace = build("gcc", 2_000, 0)
         policy = victim.filter_both()
-        auto = simulate(trace, BASELINE, warmup=100, engine="auto")
-        vect = simulate(trace, BASELINE, warmup=100, engine="vector")
-        assert canon(auto) == canon(vect)
-        # engine="vector" on an unsupported policy silently runs the
-        # scalar reference — the knob selects an engine *preference*.
-        buffered = simulate(trace, policy, warmup=100, engine="vector")
+        auto = simulate(trace, policy, warmup=100, engine="auto")
         scalar = simulate(trace, policy, warmup=100, engine="scalar")
-        assert canon(buffered) == canon(scalar)
+        assert canon(auto) == canon(scalar)
 
     def test_env_var_steers_auto_but_not_explicit(self, monkeypatch):
         trace = build("swim", 2_000, 0)
@@ -140,15 +245,23 @@ class TestEngineDispatch:
 class TestInstrumentedCampaign:
     """A metrics-on vector run emits the same event stream contract."""
 
-    def _run(self, tmp_path, engine, heartbeat_every=512):
-        path = tmp_path / f"events_{engine}.jsonl"
+    def _run(
+        self,
+        tmp_path,
+        engine,
+        heartbeat_every=512,
+        machine=PAPER_MACHINE,
+        policy=BASELINE,
+        tag="",
+    ):
+        path = tmp_path / f"events_{engine}{tag}.jsonl"
         trace = build("gcc", 4_000, 3)
         obs_events.activate(
             ObsConfig(events_path=str(path), heartbeat_every=heartbeat_every),
             cell="vector-test",
         )
         try:
-            stats = simulate(trace, BASELINE, warmup=500, engine=engine)
+            stats = simulate(trace, policy, machine, warmup=500, engine=engine)
         finally:
             obs_events.deactivate()
         return path, stats
@@ -169,6 +282,37 @@ class TestInstrumentedCampaign:
         assert self._canonical_events(vec_path) == self._canonical_events(
             sc_path
         )
+
+    def test_event_streams_identical_assoc(self, tmp_path):
+        # Same contract on a 2-way L1, where the general set-associative
+        # pass (not the shift-compare fast path) feeds the replay.
+        machine = machine_with_assoc(2)
+        vec_path, vec_stats = self._run(tmp_path, "vector", machine=machine)
+        sc_path, sc_stats = self._run(tmp_path, "scalar", machine=machine)
+        assert canon(vec_stats) == canon(sc_stats)
+        assert self._canonical_events(vec_path) == self._canonical_events(
+            sc_path
+        )
+
+    def test_auto_fallback_emits_blame_event(self, tmp_path):
+        from repro.buffers import victim
+
+        policy = victim.filter_both()
+        path, _ = self._run(tmp_path, "auto", policy=policy, tag="_fallback")
+        events, problems = validate_lines(path.read_text().splitlines())
+        assert problems == []
+        falls = [e for e in events if e["type"] == "engine_fallback"]
+        assert len(falls) == 1
+        assert falls[0]["policy"] == policy.name
+        assert "assist buffer" in falls[0]["reason"]
+        # The extra event must not break stream reconciliation.
+        assert reconcile_events(events) == (1, [])
+
+    def test_eligible_auto_run_emits_no_fallback_event(self, tmp_path):
+        path, _ = self._run(tmp_path, "auto", tag="_eligible")
+        events, problems = validate_lines(path.read_text().splitlines())
+        assert problems == []
+        assert [e for e in events if e["type"] == "engine_fallback"] == []
 
     def test_validate_reconcile_cli_passes(self, tmp_path, capsys):
         path, _ = self._run(tmp_path, "vector")
