@@ -1,6 +1,6 @@
 """``repro.analysis`` — simlint, the repo-specific static-analysis pass.
 
-Five rule families, each earned the hard way (see
+Eight rule families, each earned the hard way (see
 ``docs/static_analysis.md`` for the catalog with the original bugs):
 
 * **stats-completeness** (RPR001-003) — statistics dataclasses must
@@ -13,8 +13,18 @@ Five rule families, each earned the hard way (see
   threads;
 * **obs-schema** (RPR030-032) — emitted event names and the validator
   schema must agree exactly, in both directions;
-* **hot-path** (RPR040-041) — no repeated attribute chains in
-  simulation-core loops, no ``print()`` in library code.
+* **hot-path** (RPR040-042) — no repeated attribute chains or repeated
+  ``tolist()`` slicing in simulation-core loops, no ``print()`` in
+  library code;
+* **durability** (RPR050-051) — harness/obs persistence goes through
+  the fsync'd atomic-write path;
+* **numpy-hygiene** (RPR060-064) — stable sorts, 64-bit reduction
+  accumulators, hoisted ``astype``, no chained boolean-mask indexing,
+  no dtype-changing in-place ops (dataflow-backed: rules fire on
+  *proven* arrays and dtypes, see :mod:`repro.analysis.dataflow`);
+* **stats-contract** (RPR070-072) — the scalar and vector engines'
+  ``SystemStats`` write sets and measurement cadence must agree
+  (cross-file join).
 
 Run ``python -m repro.analysis src tests`` (CI does, before anything
 else).  Suppress a finding with ``# repro: noqa[RPR003]`` on its line —

@@ -19,8 +19,10 @@ from repro.analysis.checkers.determinism import (
 )
 from repro.analysis.checkers.durability import DurabilityChecker
 from repro.analysis.checkers.hotpath import HotPathChecker
+from repro.analysis.checkers.numpy_hygiene import NumpyHygieneChecker
 from repro.analysis.checkers.obs_schema import ObsSchemaChecker
 from repro.analysis.checkers.stats import StatsCompletenessChecker
+from repro.analysis.checkers.stats_contract import StatsContractChecker
 from repro.analysis.core import Checker
 
 ALL_CHECKERS: List[Type[Checker]] = [
@@ -31,6 +33,8 @@ ALL_CHECKERS: List[Type[Checker]] = [
     ObsSchemaChecker,
     HotPathChecker,
     DurabilityChecker,
+    NumpyHygieneChecker,
+    StatsContractChecker,
 ]
 
 

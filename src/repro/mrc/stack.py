@@ -92,7 +92,9 @@ class StackProfile:
     def finite_distances_sorted(self) -> "np.ndarray":
         """Warm-reference distances in ascending order (cached lazily)."""
         finite = self.distances[self.distances != COLD]
-        return np.sort(finite)
+        # Value-only sort: equal distances are interchangeable in every
+        # consumer (thresholded counts), so stability buys nothing.
+        return np.sort(finite)  # repro: noqa[RPR060]
 
     def miss_counts(self, sizes_lines: Iterable[int]) -> List[int]:
         """FA-LRU miss count at each capacity, from the one shared pass.
@@ -189,7 +191,9 @@ def _inversions_above(values: "np.ndarray") -> "np.ndarray":
         padded = np.full(rows * pair, -1, dtype=np.int64)
         padded[:n] = values
         table = padded.reshape(rows, pair)
-        left = np.sort(table[:, :width], axis=1)
+        # Value-only sort feeding searchsorted ranks; ties carry equal
+        # values, so the unstable kind cannot change any rank.
+        left = np.sort(table[:, :width], axis=1)  # repro: noqa[RPR060]
         right = table[:, width:]
         offsets = np.arange(rows, dtype=np.int64)[:, None] * span
         ranks = np.searchsorted(

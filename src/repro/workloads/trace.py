@@ -106,7 +106,11 @@ class Trace:
     @property
     def total_instructions(self) -> int:
         """Memory references plus all gap instructions."""
-        return int(self.gaps.sum()) + len(self)
+        # gaps is deliberately int16 (3 bytes/ref saved on long traces);
+        # the accumulator must not inherit that width — or the platform
+        # default (int32 on 64-bit Windows), which wraps past ~2**31
+        # total instructions.
+        return int(self.gaps.sum(dtype=np.int64)) + len(self)
 
     def address_list(self) -> list[int]:
         """Addresses as plain Python ints (for address-only consumers)."""

@@ -1,0 +1,46 @@
+# repro-analysis-scope: src simcore
+"""Failing fixture for numpy hygiene: RPR060, RPR061, RPR062, RPR063, RPR064."""
+
+import numpy as np
+
+
+def order_by_set(sets: "np.ndarray") -> "np.ndarray":
+    # No kind= at all: numpy picks introsort.
+    return np.argsort(sets)  # RPR060
+
+
+def order_quick(sets: "np.ndarray") -> "np.ndarray":
+    # An explicit *unstable* kind is just as wrong.
+    return sets.argsort(kind="quicksort")  # RPR060
+
+
+def count_hits(hits: "np.ndarray") -> int:
+    mask = hits > 0
+    # bool reduction accumulates at the platform C long (int32 on
+    # 64-bit Windows).
+    return int(mask.sum())  # RPR061
+
+
+def prefix_misses(miss_flags: "np.ndarray") -> "np.ndarray":
+    small = miss_flags.astype(np.int16)
+    return np.cumsum(small)  # RPR061
+
+
+def widen_per_chunk(table: "np.ndarray") -> int:
+    total = 0
+    for lo in range(0, 64, 8):
+        wide = table.astype(np.int64)  # RPR062: loop-invariant copy
+        total += int(wide[lo])
+    return total
+
+
+def pick_first_conflicts(distances: "np.ndarray") -> "np.ndarray":
+    conflict = distances > 4
+    # Materialises the masked selection, then slices the copy.
+    return distances[conflict][:8]  # RPR063
+
+
+def halve_counts(counts: "np.ndarray") -> "np.ndarray":
+    scaled = counts.astype(np.int64)
+    scaled /= 2  # RPR064: in-place true division on an int array
+    return scaled

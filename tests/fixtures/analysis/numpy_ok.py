@@ -1,0 +1,62 @@
+# repro-analysis-scope: src simcore
+"""Passing fixture for numpy hygiene: stable sorts, pinned accumulators,
+hoisted conversions, single-step indexing, out-of-place arithmetic."""
+
+import numpy as np
+
+
+def order_by_set(sets: "np.ndarray") -> "np.ndarray":
+    return np.argsort(sets, kind="stable")
+
+
+def order_merge(sets: "np.ndarray") -> "np.ndarray":
+    return sets.argsort(kind="mergesort")
+
+
+def count_hits(hits: "np.ndarray") -> int:
+    mask = hits > 0
+    return int(mask.sum(dtype=np.int64))
+
+
+def prefix_misses(miss_flags: "np.ndarray") -> "np.ndarray":
+    return np.cumsum(miss_flags.astype(np.int64))
+
+
+def sum_wide(values: "np.ndarray") -> int:
+    # Proven 64-bit operand: no dtype= needed.
+    wide = values.astype(np.int64)
+    return int(wide.sum())
+
+
+def widen_once(table: "np.ndarray") -> int:
+    wide = table.astype(np.int64)
+    total = 0
+    for lo in range(0, 64, 8):
+        total += int(wide[lo])
+    return total
+
+
+def widen_fresh_chunks(chunks: "np.ndarray") -> int:
+    total = 0
+    for chunk in chunks:
+        # The receiver is rebound every iteration: nothing to hoist.
+        scaled = chunk.astype(np.int64)
+        total += int(scaled[0])
+    return total
+
+
+def pick_first_conflicts(distances: "np.ndarray") -> "np.ndarray":
+    conflict_idx = np.flatnonzero(distances > 4)
+    return distances[conflict_idx[:8]]
+
+
+def halve_counts(counts: "np.ndarray") -> "np.ndarray":
+    scaled = counts.astype(np.int64)
+    return scaled // 2
+
+
+def scale_ratios(ratios: "np.ndarray") -> "np.ndarray":
+    # Float target: in-place division never changes the dtype.
+    weights = ratios.astype(np.float64)
+    weights /= 2.0
+    return weights

@@ -1,0 +1,34 @@
+# repro-analysis-scope: src simcore engine-vector
+"""Vector-engine side, broken three ways (RPR070, RPR071, RPR072).
+
+Run together with ``stats_contract_shared.py``: misses the scalar
+engine's ``l1.misses`` write, writes ``l1.writebacks`` (which the
+scalar engine never does) and the undeclared ``l1.hitz`` (typo), and
+derives the heartbeat cadence differently.
+"""
+
+
+def replay_clock() -> "ClockStats":
+    clock = ClockStats()
+    clock.cycles = 5
+    clock.stalls = 1
+    return clock
+
+
+def stats_at(p: int) -> "SystemStats":
+    stats = SystemStats()
+    l1 = stats.l1
+    l1.accesses = p
+    l1.hits = p  # no l1.misses write anywhere -> RPR070
+    l1.writebacks = p  # scalar engine never writes this -> RPR070
+    l1.hitz = p  # undeclared field (typo) -> RPR071
+    stats.memory_accesses = p
+    stats.timing = replay_clock()
+    return stats
+
+
+def vector_measure(ticker, faults, total):
+    heartbeat_every = ticker.every if ticker is not None else 0  # RPR072
+    tick_every = faults.sim_tick_every()
+    for boundary in measure_boundaries(total, heartbeat_every, tick_every):
+        emit(boundary)

@@ -1,0 +1,30 @@
+# repro-analysis-scope: src simcore engine-vector
+"""Vector-engine side that honours the contract (runs with
+``stats_contract_shared.py``): every scalar-written counter has a
+vector-side write or whole-object delegation, no extras, no typos, and
+an identical measurement cadence."""
+
+
+def replay_clock() -> "ClockStats":
+    clock = ClockStats()
+    clock.cycles = 5
+    clock.stalls = 1
+    return clock
+
+
+def stats_at(p: int) -> "SystemStats":
+    stats = SystemStats()
+    l1 = stats.l1
+    l1.accesses = p
+    l1.hits = p
+    l1.misses = p - l1.hits
+    stats.memory_accesses = p
+    stats.timing = replay_clock()
+    return stats
+
+
+def vector_measure(ticker, faults, total):
+    heartbeat_every = ticker.every if ticker is not None and ticker.every > 0 else 0
+    tick_every = faults.sim_tick_every()
+    for boundary in measure_boundaries(total, heartbeat_every, tick_every):
+        emit(boundary)

@@ -1,0 +1,61 @@
+# repro-analysis-scope: src simcore engine-scalar
+"""Scalar-engine side of the stats-contract fixtures (RPR070-RPR072).
+
+Declares the stats schema (a miniature ``SystemStats`` tree) and the
+scalar reference engine's writes + measurement cadence.  The vector
+side lives in ``stats_contract_fail.py`` / ``stats_contract_ok.py``;
+the contract checker joins the two in ``finalize``.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LevelStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+
+@dataclass
+class ClockStats:
+    cycles: int = 0
+    stalls: int = 0
+
+
+@dataclass
+class SystemStats:
+    l1: LevelStats = field(default_factory=LevelStats)
+    timing: ClockStats = field(default_factory=ClockStats)
+    memory_accesses: int = 0
+
+
+class ScalarEngine:
+    """Reference engine: writes accesses/hits/misses, memory_accesses,
+    and the full clock — but never ``writebacks`` (tag-only model)."""
+
+    def __init__(self) -> None:
+        self.stats = SystemStats()
+        self.clock = ClockStats()
+
+    def access(self, hit: bool) -> None:
+        stats = self.stats
+        stats.l1.accesses += 1
+        if hit:
+            stats.l1.hits += 1
+        else:
+            stats.l1.misses += 1
+        stats.memory_accesses += 1
+
+    def finish(self) -> None:
+        self.clock.cycles += 1
+        self.clock.stalls += 1
+        self.stats.timing = self.clock
+
+
+def scalar_measure(ticker, faults, total):
+    heartbeat_every = ticker.every if ticker is not None and ticker.every > 0 else 0
+    tick_every = faults.sim_tick_every()
+    for boundary in measure_boundaries(total, heartbeat_every, tick_every):
+        checkpoint(boundary)

@@ -9,6 +9,7 @@ keeps the checker catalog honest.  The CLI tests cover ``--json``,
 from __future__ import annotations
 
 import json
+from collections import Counter
 from pathlib import Path
 
 import pytest
@@ -29,8 +30,13 @@ def codes_for(*files: str) -> set:
 
 # ----------------------------------------------------------------------
 # Checker contract: every code fires on a failing fixture, none on the
-# passing one.
+# passing one.  An entry may name a single fixture file or a tuple of
+# files that must be analysed together (cross-file checkers).
 # ----------------------------------------------------------------------
+def as_files(entry) -> tuple:
+    return entry if isinstance(entry, tuple) else (entry,)
+
+
 FAMILIES = [
     ("stats_fail.py", "stats_ok.py", {"RPR001", "RPR002", "RPR003"}),
     (
@@ -53,21 +59,59 @@ FAMILIES = [
         "mrc_ok.py",
         {"RPR010", "RPR011", "RPR012", "RPR013", "RPR040"},
     ),
+    (
+        "numpy_fail.py",
+        "numpy_ok.py",
+        {"RPR060", "RPR061", "RPR062", "RPR063", "RPR064"},
+    ),
+    # Cross-file family: the scalar reference engine (shared) is joined
+    # with a vector-side module; the contract only activates when both
+    # engine scopes are present.
+    (
+        ("stats_contract_shared.py", "stats_contract_fail.py"),
+        ("stats_contract_shared.py", "stats_contract_ok.py"),
+        {"RPR070", "RPR071", "RPR072"},
+    ),
 ]
 
 
 @pytest.mark.parametrize("fail_fixture,ok_fixture,expected", FAMILIES)
 def test_family_fires_on_fail_fixture(fail_fixture, ok_fixture, expected):
-    assert codes_for(fail_fixture) == expected
+    assert codes_for(*as_files(fail_fixture)) == expected
 
 
 @pytest.mark.parametrize("fail_fixture,ok_fixture,expected", FAMILIES)
 def test_family_silent_on_ok_fixture(fail_fixture, ok_fixture, expected):
-    assert codes_for(ok_fixture) == set()
+    assert codes_for(*as_files(ok_fixture)) == set()
+
+
+def test_new_family_fixture_counts_match_ci_selfcheck():
+    # Exact per-code counts for the dataflow-backed families; the
+    # simlint-selfcheck step in .github/workflows/ci.yml pins the same
+    # numbers — update both together.
+    def counts(*files: str) -> Counter:
+        paths = [str(FIXTURES / f) for f in files]
+        return Counter(v.code for v in run(paths, all_checkers()).violations)
+
+    assert counts("numpy_fail.py") == {
+        "RPR060": 2,
+        "RPR061": 2,
+        "RPR062": 1,
+        "RPR063": 1,
+        "RPR064": 1,
+    }
+    assert counts("stats_contract_shared.py", "stats_contract_fail.py") == {
+        "RPR070": 3,
+        "RPR071": 1,
+        "RPR072": 1,
+    }
 
 
 def test_every_registered_code_has_a_firing_fixture():
-    fired = codes_for(*(fail for fail, _, _ in FAMILIES))
+    files: list = []
+    for fail, _, _ in FAMILIES:
+        files.extend(f for f in as_files(fail) if f not in files)
+    fired = codes_for(*files)
     assert fired == set(catalog()), (
         "every code in the catalog must be proven to fire by a fixture"
     )
@@ -191,6 +235,53 @@ def test_cli_select_prefix_family(capsys):
 
 def test_cli_ignore_can_silence_everything(capsys):
     assert main([str(FIXTURES / "stats_fail.py"), "--ignore", "RPR"]) == 0
+
+
+@pytest.mark.parametrize("option", ["--select", "--ignore"])
+@pytest.mark.parametrize("bogus", ["RPR9", "rpr01", "RPRX", "RPR0601"])
+def test_cli_unknown_prefix_exits_two(option, bogus, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(FIXTURES / "stats_fail.py"), option, bogus])
+    assert excinfo.value.code == 2
+    assert "matches no known code" in capsys.readouterr().err
+
+
+def test_cli_format_json_matches_json_flag(capsys):
+    assert main([str(FIXTURES / "stats_fail.py"), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {v["code"] for v in payload["violations"]} == {
+        "RPR001",
+        "RPR002",
+        "RPR003",
+    }
+
+
+def test_cli_format_github_emits_workflow_commands(capsys):
+    assert main([str(FIXTURES / "stats_fail.py"), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line]
+    assert lines and all(line.startswith("::error file=") for line in lines)
+    assert any("title=RPR001" in line for line in lines)
+    assert all(",line=" in line and ",col=" in line for line in lines)
+
+
+def test_cli_format_github_clean_tree_prints_nothing(capsys):
+    assert main([str(FIXTURES / "stats_ok.py"), "--format", "github"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_format_sarif_is_valid_minimal_log(capsys):
+    assert main([str(FIXTURES / "stats_fail.py"), "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    (run_obj,) = payload["runs"]
+    rule_ids = {r["id"] for r in run_obj["tool"]["driver"]["rules"]}
+    assert rule_ids == set(catalog())
+    results = run_obj["results"]
+    assert {r["ruleId"] for r in results} == {"RPR001", "RPR002", "RPR003"}
+    loc = results[0]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].endswith("stats_fail.py")
+    assert loc["region"]["startLine"] >= 1
 
 
 def test_cli_list_checkers(capsys):

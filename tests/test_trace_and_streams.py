@@ -57,6 +57,14 @@ class TestTrace:
         t = Trace([1, 2], gaps=[3, 4])
         assert t.total_instructions == 2 + 7
 
+    def test_total_instructions_survives_int32_overflow(self):
+        # gaps is stored int16; the sum must accumulate at 64 bits even
+        # on platforms whose default accumulator is int32.
+        n = 70_000
+        t = Trace(np.zeros(n, dtype=np.int64), gaps=np.full(n, 32_767))
+        assert t.total_instructions == n * 32_767 + n
+        assert t.total_instructions > 2**31
+
     def test_concat(self):
         t = Trace([1]).concat(Trace([2]))
         assert list(t.addresses) == [1, 2]
