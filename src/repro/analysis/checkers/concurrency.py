@@ -1,4 +1,4 @@
-"""RPR020-022 — scheduler concurrency rules for ``harness/``.
+"""RPR020-022, RPR080-081 — concurrency rules for ``harness/``+``serve/``.
 
 PR 2 hit a real race: with ``--jobs N``, CPython's ``Process.start()``
 reaps *every* finished child (``util._cleanup`` polls them all), so one
@@ -9,6 +9,16 @@ worker start and reap under one lifecycle lock.  These rules generalise
 that fix: in ``harness/`` code, anything that can wait on or reap a
 child process must sit under a lock, and state shared between scheduler
 threads must not be mutated bare.
+
+The service brought a second concurrency model into the repo, with its
+own failure mode: the asyncio event loop is cooperative, so one
+*blocking* call inside an ``async def`` stalls every live session at
+once — a 100ms ``time.sleep`` in a thousand-session server is a
+100ms p99 floor for everyone.  RPR080/081 flag the two blocking shapes
+that actually sneak into async code (sleeps and synchronous file I/O)
+directly in ``async def`` bodies; nested *sync* ``def``s are exempt,
+because the legitimate pattern for blocking work is exactly to wrap it
+in a sync helper and hand it to an executor.
 """
 
 from __future__ import annotations
@@ -27,6 +37,16 @@ _REAP_METHODS = {"start", "join", "close", "kill"}
 
 #: A with-item expression counts as "a lock" when its source mentions one.
 _LOCK_HINT = re.compile(r"lock|mutex", re.IGNORECASE)
+
+#: Blocking sleeps that stall the event loop (``asyncio.sleep`` yields).
+_BLOCKING_SLEEP = {"time.sleep"}
+
+#: Synchronous file-open entry points.
+_SYNC_OPEN = {"open", "io.open", "os.open"}
+
+#: ``pathlib.Path`` convenience I/O — each one opens, transfers and
+#: closes a file synchronously.
+_SYNC_PATH_IO = {"read_text", "write_text", "read_bytes", "write_bytes"}
 
 
 def _is_lock_with(node: ast.With) -> bool:
@@ -69,8 +89,12 @@ class ConcurrencyChecker(Checker):
         "(the PR-2 waitpid race)",
         "RPR022": "shared dict mutated from a scheduler-thread function "
         "outside a lock",
+        "RPR080": "blocking sleep inside an async function "
+        "(stalls every session on the event loop)",
+        "RPR081": "synchronous file I/O inside an async function "
+        "(stalls every session on the event loop)",
     }
-    tags: Optional[FrozenSet[str]] = frozenset({"harness"})
+    tags: Optional[FrozenSet[str]] = frozenset({"harness", "serve"})
 
     def check_module(self, module: ModuleInfo) -> Iterator[Violation]:
         tracker = _WithTracker()
@@ -106,6 +130,48 @@ class ConcurrencyChecker(Checker):
                     )
 
         yield from self._check_shared_mutation(module, under_lock)
+        yield from self._check_async_blocking(module)
+
+    # ------------------------------------------------------------------
+    def _check_async_blocking(self, module: ModuleInfo) -> Iterator[Violation]:
+        """RPR080/081: blocking calls directly on the event loop."""
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _async_body_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name in _BLOCKING_SLEEP:
+                    yield module.violation(
+                        self,
+                        "RPR080",
+                        node,
+                        f"{name}() blocks the event loop inside async "
+                        f"{func.name!r} — await asyncio.sleep() instead",
+                    )
+                elif name in _SYNC_OPEN:
+                    yield module.violation(
+                        self,
+                        "RPR081",
+                        node,
+                        f"{name}() inside async {func.name!r} does file "
+                        f"I/O on the event loop — move it into a sync "
+                        f"helper (run before/after, or via an executor)",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SYNC_PATH_IO
+                ):
+                    yield module.violation(
+                        self,
+                        "RPR081",
+                        node,
+                        f".{node.func.attr}() inside async {func.name!r} "
+                        f"does file I/O on the event loop — move it into "
+                        f"a sync helper (run before/after, or via an "
+                        f"executor)",
+                    )
 
     # ------------------------------------------------------------------
     def _check_shared_mutation(
@@ -152,6 +218,23 @@ class ConcurrencyChecker(Checker):
                                 f"scheduler threads is mutated without a "
                                 f"lock",
                             )
+
+
+def _async_body_nodes(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Nodes that execute *on the event loop* within one async function.
+
+    Nested function bodies are excluded in both directions: a nested
+    sync ``def`` is the executor-helper pattern (its blocking calls run
+    off-loop), and a nested ``async def`` is visited as its own
+    function by the outer walk.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
 
 
 def _dict_locals(func: ast.AST) -> Set[str]:

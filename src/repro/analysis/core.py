@@ -138,7 +138,8 @@ def compute_tags(rel: str, source_head: str) -> FrozenSet[str]:
     """Scope tags for a file: directive wins, else derived from its path.
 
     Tags: ``src`` (library code under ``src/repro``), ``simcore``,
-    ``harness``, ``obs``, ``analysis``, ``experiments``, ``test``.  A
+    ``harness``, ``obs``, ``analysis``, ``experiments``, ``serve``,
+    ``test``.  A
     simulation-core file additionally carries its own package name
     (``cache``, ``mrc``, ...) so a checker can target one subsystem
     without widening its scope to the whole core.
@@ -156,7 +157,14 @@ def compute_tags(rel: str, source_head: str) -> FrozenSet[str]:
         if package in SIMCORE_PACKAGES:
             tags.add("simcore")
             tags.add(package)
-        elif package in {"harness", "obs", "analysis", "experiments", "faults"}:
+        elif package in {
+            "harness",
+            "obs",
+            "analysis",
+            "experiments",
+            "faults",
+            "serve",
+        }:
             tags.add(package)
     if "tests" in parts:
         tags.add("test")

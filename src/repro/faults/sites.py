@@ -15,6 +15,10 @@ check when no plan is armed.
 ``worker_spawn``      cell worker process about to start
 ``sim_tick``          inside a simulation's measured loop, every
                       :data:`SIM_TICK_EVERY` references
+``serve_accept``      classification service: connection accepted,
+                      before the session handshake
+``serve_batch``       classification service: one address batch about
+                      to be fed through a tenant pipeline
 ==================  ====================================================
 
 The first four are *write* sites: the ``partial`` fault kind tears their
@@ -35,6 +39,8 @@ SITES: Dict[str, str] = {
     "event_append": "one events.jsonl line append",
     "worker_spawn": "cell worker process start",
     "sim_tick": "mid-simulation, every SIM_TICK_EVERY measured references",
+    "serve_accept": "service connection accepted (pre-handshake)",
+    "serve_batch": "service address batch about to be processed",
 }
 
 #: Sites whose hook carries a destination path + payload (``partial``

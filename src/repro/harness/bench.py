@@ -16,7 +16,13 @@ Measures the numbers every scaling PR must not regress:
   Section-5 benchmark) executed at ``--jobs 1`` and ``--jobs N``, which
   measures the parallel scheduler's scaling and cross-checks that both
   modes produce byte-identical checkpoint artifacts and identical cell
-  statuses.
+  statuses;
+* **service throughput/latency** (``single_node_service``) — a real
+  :class:`repro.serve.ConflictServer` on a unix socket, driven by the
+  package's own load generator at ``--serve-sessions`` concurrent
+  sessions: aggregate refs/sec across all sessions plus p50/p99 answer
+  latency measured *under* that load, the floor the committed baseline
+  holds the service to.
 
 The result is written as a small schema-versioned JSON artifact
 (``BENCH_sweep.json`` by convention) that CI uploads per commit, forming
@@ -246,6 +252,77 @@ def measure_sweep(
     }
 
 
+def measure_service(
+    sessions: int,
+    refs_per_session: int,
+    batch_size: int,
+    scratch: Path,
+    tracer: Tracer = NULL_TRACER,
+) -> Dict[str, object]:
+    """One in-process service run: server + loadgen on one event loop.
+
+    Running both sides in one process over a unix socket keeps the cell
+    hermetic (no ports, no subprocess lifetime management) and measures
+    the configuration that matters for the floor: every session
+    concurrent (loadgen concurrency == sessions), answers timed while
+    other sessions' batches keep the loop busy.  A sampler task records
+    the peak number of simultaneously live server sessions so the
+    artifact proves the concurrency level actually happened.
+    """
+    import asyncio
+
+    from repro.serve.config import ServeConfig, raise_fd_limit
+    from repro.serve.loadgen import build_parser as loadgen_parser
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ConflictServer
+
+    # Server and loadgen share the process: two descriptors per session.
+    raise_fd_limit(2 * sessions + 64)
+    socket_path = str(scratch / "bench-serve.sock")
+
+    async def cell() -> Dict[str, object]:
+        server = ConflictServer(
+            ServeConfig(
+                socket_path=socket_path,
+                max_sessions=sessions + 8,
+                idle_timeout_s=120.0,
+            )
+        )
+        await server.start()
+        peak = 0
+
+        async def sample_peak() -> None:
+            nonlocal peak
+            while True:
+                peak = max(peak, server.live_sessions())
+                await asyncio.sleep(0.02)
+
+        sampler = asyncio.ensure_future(sample_peak())
+        args = loadgen_parser().parse_args(
+            [
+                "--socket",
+                socket_path,
+                "--sessions",
+                str(sessions),
+                "--concurrency",
+                str(sessions),
+                "--refs-per-session",
+                str(refs_per_session),
+                "--batch-size",
+                str(batch_size),
+            ]
+        )
+        with tracer.span("bench.service", sessions=sessions):
+            report = await run_load(args)
+        sampler.cancel()
+        await server.stop()
+        report["peak_sessions"] = peak
+        report["state_entries_final"] = server.state_entries()
+        return report
+
+    return asyncio.run(cell())
+
+
 def check_regression(
     payload: Dict[str, object], baseline_path: Path, max_regression: float
 ) -> Optional[str]:
@@ -282,6 +359,36 @@ def check_regression(
                 f"{mrc_floor:.0f} (baseline {baseline['mrc']['refs_per_sec']} "
                 f"- {max_regression:.0%} allowance)"
             )
+    if "single_node_service" in baseline and "single_node_service" in payload:
+        serve_base = baseline["single_node_service"]
+        serve_cell = payload["single_node_service"]
+        serve_floor = float(serve_base["refs_per_sec"]) * (1.0 - max_regression)
+        serve_measured = float(serve_cell["refs_per_sec"])  # type: ignore[index]
+        if serve_measured < serve_floor:
+            return (
+                f"service throughput regressed: {serve_measured:.0f} "
+                f"refs/sec < {serve_floor:.0f} (baseline "
+                f"{serve_base['refs_per_sec']} - {max_regression:.0%} "
+                f"allowance)"
+            )
+        if int(serve_cell["peak_sessions"]) < int(  # type: ignore[index]
+            serve_base["sessions"]
+        ):
+            return (
+                f"service concurrency shortfall: peaked at "
+                f"{serve_cell['peak_sessions']} live session(s) "  # type: ignore[index]
+                f"< committed {serve_base['sessions']}"
+            )
+        # Latency regresses upward, so the allowance flips sign.
+        p99_ceiling = float(serve_base["answer_p99_ms"]) * (1.0 + max_regression)
+        p99_measured = float(serve_cell["answer_p99_ms"])  # type: ignore[index]
+        if p99_measured > p99_ceiling:
+            return (
+                f"service answer latency regressed: p99 {p99_measured:.1f}ms "
+                f"> {p99_ceiling:.1f}ms (baseline "
+                f"{serve_base['answer_p99_ms']}ms + {max_regression:.0%} "
+                f"allowance)"
+            )
     return None
 
 
@@ -311,6 +418,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip-sweep",
         action="store_true",
         help="measure only the single-cell hot loop (fast smoke)",
+    )
+    parser.add_argument(
+        "--serve-sessions",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="concurrent sessions for the single_node_service cell "
+        "(default: %(default)s — the committed concurrency floor)",
+    )
+    parser.add_argument(
+        "--serve-refs",
+        type=int,
+        default=4000,
+        metavar="N",
+        help="addresses each service session streams (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skip-serve",
+        action="store_true",
+        help="skip the single_node_service cell",
     )
     parser.add_argument(
         "--check-against",
@@ -401,6 +528,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         / float(assoc_scalar_cell["refs_per_sec"]),  # type: ignore[index]
         2,
     )
+    if not args.skip_serve:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
+            payload["single_node_service"] = measure_service(
+                args.serve_sessions,
+                args.serve_refs,
+                batch_size=max(1, args.serve_refs // 4),
+                scratch=Path(scratch),
+                tracer=tracer,
+            )
     if not args.skip_sweep:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
             payload["sweep"] = measure_sweep(
@@ -456,6 +592,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if "single_node_service" in payload:
+        serve_cell = payload["single_node_service"]
+        print(
+            f"[bench] service: {serve_cell['sessions']} session(s) "  # type: ignore[index]
+            f"(peak {serve_cell['peak_sessions']} live), "  # type: ignore[index]
+            f"{serve_cell['refs_per_sec']} refs/sec aggregate, "  # type: ignore[index]
+            f"answers p50={serve_cell['answer_p50_ms']}ms "  # type: ignore[index]
+            f"p99={serve_cell['answer_p99_ms']}ms"  # type: ignore[index]
+        )
+        if serve_cell["errors"]:  # type: ignore[index]
+            print(
+                "[bench] ERROR: service sessions failed during the bench run",
+                file=sys.stderr,
+            )
+            return 1
     if "sweep" in payload:
         sweep = payload["sweep"]
         print(

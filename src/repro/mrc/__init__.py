@@ -34,7 +34,12 @@ from repro.mrc.decompose import (
     decompose_size,
 )
 from repro.mrc.oracle import SharedGroundTruth, StackDistanceOracle
-from repro.mrc.sampling import SampleResult, hash_block, sampled_curve
+from repro.mrc.sampling import (
+    SampleResult,
+    ShardsEstimator,
+    hash_block,
+    sampled_curve,
+)
 from repro.mrc.stack import (
     COLD,
     StackProfile,
@@ -47,6 +52,7 @@ __all__ = [
     "ConflictSplit",
     "MissRatioCurve",
     "SampleResult",
+    "ShardsEstimator",
     "SharedGroundTruth",
     "StackDistanceOracle",
     "StackProfile",

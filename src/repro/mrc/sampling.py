@@ -43,6 +43,22 @@ fixed-size 1024 within a 0.05 absolute tolerance.  Fixed-size mode
 additionally carries the usual SHARDS caveat that references sampled
 *before* a threshold drop are not rescaled retroactively.
 
+**Incremental feeding** (the online-service form): the whole pass lives
+in a :class:`ShardsEstimator`, which accepts the stream in arbitrary
+chunks through :meth:`~ShardsEstimator.feed` and snapshots the current
+curve through :meth:`~ShardsEstimator.result` at any point.  Feeding a
+trace in chunks is *exactly* equivalent to one batch call — not merely
+statistically: the estimator's Fenwick tree indexes sampled positions
+and is periodically *compacted* (live positions renumbered in order,
+dead ones dropped), which preserves every interval count the distance
+estimate reads, so the chunking can never change a single weight.
+Compaction is also what bounds memory: in fixed-size mode the live
+position set never exceeds ``max_blocks``, so the tree, the eviction
+heap and the hash memo all stay within a constant footprint no matter
+how long the stream runs — the property the multi-tenant service
+(:mod:`repro.serve`) leans on for its per-tenant byte budget.
+:func:`sampled_curve` remains the one-shot convenience wrapper.
+
 Determinism: sampling uses only :func:`hash_block` — a seeded
 splitmix64 finalizer — never an RNG, the OS entropy pool, or the wall
 clock, so a (trace, seed) pair always yields the same curve.
@@ -61,6 +77,10 @@ from repro.mrc.stack import _Fenwick, _is_pow2, _log2
 
 _MASK64 = (1 << 64) - 1
 _FULL = 1 << 64
+
+#: Smallest Fenwick capacity the estimator allocates; compaction doubles
+#: from here as the live sample grows.
+_MIN_TREE = 1024
 
 
 def hash_block(block: int, seed: int = 0) -> int:
@@ -87,6 +107,227 @@ class SampleResult:
     seed: int
 
 
+class ShardsEstimator:
+    """Incremental SHARDS pass: feed address chunks, snapshot curves.
+
+    Exactly one of ``rate`` (fixed-rate mode, ``0 < rate <= 1``) or
+    ``max_blocks`` (fixed-size mode, bound on distinct sampled blocks)
+    must be given.  The estimator is single-writer: one stream, fed in
+    order; :meth:`result` may be called between any two chunks and does
+    not disturb the pass.
+
+    Memory stays bounded in fixed-size mode: live Fenwick positions are
+    compacted whenever the tree fills, the eviction heap can never hold
+    more entries than live blocks plus already-superseded ones awaiting
+    lazy deletion (at most one per eviction, each removed on its next
+    surfacing), and the block-hash memo is cleared when it outgrows a
+    small multiple of the sample bound.
+    """
+
+    def __init__(
+        self,
+        line_size: int = 64,
+        sizes_lines: Optional[Sequence[int]] = None,
+        *,
+        rate: Optional[float] = None,
+        max_blocks: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if (rate is None) == (max_blocks is None):
+            raise ValueError("pass exactly one of rate= or max_blocks=")
+        if rate is not None and not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        if max_blocks is not None and max_blocks < 1:
+            raise ValueError(f"max_blocks must be >= 1, got {max_blocks}")
+        if not _is_pow2(line_size):
+            raise ValueError(f"line size must be a power of two, got {line_size}")
+        self.line_size = line_size
+        self.seed = seed
+        self.max_blocks = max_blocks
+        self.sizes: Tuple[int, ...] = (
+            tuple(sizes_lines)
+            if sizes_lines is not None
+            else default_size_ladder(line_size)
+        )
+        self._shift = _log2(line_size)
+        self._threshold = int(rate * _FULL) if rate is not None else _FULL
+        if self._threshold < 1:
+            raise ValueError(f"rate {rate} is below the hash resolution")
+
+        self._tree = _Fenwick(_MIN_TREE)
+        self._last_pos: Dict[int, int] = {}
+        self._block_hash: Dict[int, int] = {}
+        # Max-heap (negated) of (hash, block) for fixed-size evictions.
+        self._heap: List[Tuple[int, int]] = []
+        self._hash_cache: Dict[int, int] = {}
+        self._hash_cache_max = (
+            max(8 * max_blocks, _MIN_TREE) if max_blocks is not None else 1 << 16
+        )
+
+        # Weighted per-size miss estimates, accumulated in the sample
+        # domain.  ``sorted_sizes`` ascends so the inner loop can break.
+        self._sorted_sizes = sorted(self.sizes)
+        self._miss_weight = [0.0] * len(self._sorted_sizes)
+        self._cold_weight = 0.0
+        self._ref_weight = 0.0
+        self._sampled_refs = 0
+        self._total_refs = 0
+        self._pos = 0  # position in the *sampled* substream (1-based)
+
+    # ------------------------------------------------------------------
+    # Introspection (the service's budget accounting reads these)
+    # ------------------------------------------------------------------
+    @property
+    def total_refs(self) -> int:
+        """References fed so far (sampled or not)."""
+        return self._total_refs
+
+    @property
+    def sampled_refs(self) -> int:
+        return self._sampled_refs
+
+    @property
+    def sampled_blocks(self) -> int:
+        """Distinct blocks currently in the sample."""
+        return len(self._last_pos)
+
+    @property
+    def final_rate(self) -> float:
+        return self._threshold / _FULL
+
+    def state_entries(self) -> int:
+        """Upper-bound proxy for resident state, in dict/heap entries.
+
+        Deliberately structural (entry counts, not bytes): the quantity
+        the bounded-memory tests pin and the service budget divides by.
+        """
+        return (
+            len(self._last_pos)
+            + len(self._block_hash)
+            + len(self._heap)
+            + len(self._hash_cache)
+            + self._tree.n
+        )
+
+    # ------------------------------------------------------------------
+    # The pass
+    # ------------------------------------------------------------------
+    def feed(self, addresses: "np.ndarray | Iterable[int]") -> None:
+        """Consume one chunk of byte addresses, in stream order."""
+        addr_array = np.asarray(addresses, dtype=np.int64)
+        blocks: List[int] = (addr_array >> self._shift).tolist()
+        self._total_refs += len(blocks)
+
+        tree_add = self._tree.add
+        tree_prefix = self._tree.prefix
+        capacity = self._tree.n
+        last_pos = self._last_pos
+        block_hash = self._block_hash
+        heap = self._heap
+        hash_cache = self._hash_cache
+        sorted_sizes = self._sorted_sizes
+        miss_weight = self._miss_weight
+        max_blocks = self.max_blocks
+        seed = self.seed
+        pos = self._pos
+
+        for block in blocks:
+            h = hash_cache.get(block)
+            if h is None:
+                if len(hash_cache) >= self._hash_cache_max:
+                    hash_cache.clear()  # pure function: safe to forget
+                h = hash_block(block, seed)
+                hash_cache[block] = h
+            if h >= self._threshold:
+                continue
+            scale = _FULL / self._threshold
+            self._sampled_refs += 1
+            self._ref_weight += scale
+            if pos >= capacity:
+                self._pos = pos
+                self._compact()
+                tree_add = self._tree.add
+                tree_prefix = self._tree.prefix
+                capacity = self._tree.n
+                pos = self._pos
+            pos += 1
+            prev = last_pos.get(block)
+            if prev is None:
+                self._cold_weight += scale
+                block_hash[block] = h
+                heapq.heappush(heap, (-h, block))
+            else:
+                # The referenced block itself is in the interval with
+                # probability 1, not R, so only the other (d_s - 1)
+                # distinct sampled blocks are rescaled:
+                # E[(d_s-1)/R + 1] = D exactly.  The naive d_s/R
+                # overestimates every distance by ~(1/R - 1) lines,
+                # which is material at this repo's line-scale sizes.
+                sample_distance = tree_prefix(pos - 1) - tree_prefix(prev) + 1
+                estimated = (sample_distance - 1) * scale + 1.0
+                for i, size in enumerate(sorted_sizes):
+                    if estimated <= size:
+                        break  # sizes ascend: every later size hits too
+                    miss_weight[i] += scale
+                tree_add(prev, -1)
+            tree_add(pos, 1)
+            last_pos[block] = pos
+            if max_blocks is not None and len(last_pos) > max_blocks:
+                # Evict the largest-hash block and lower the threshold
+                # to its hash: the adaptive half of SHARDS (fixed sample
+                # size).
+                while True:
+                    neg_h, victim = heapq.heappop(heap)
+                    if block_hash.get(victim) == -neg_h:
+                        break
+                self._threshold = -neg_h
+                tree_add(last_pos.pop(victim), -1)
+                del block_hash[victim]
+        self._pos = pos
+
+    def _compact(self) -> None:
+        """Renumber live positions 1..k in order; rebuild the tree.
+
+        Relative order of live positions is preserved, so every interval
+        count — the only thing the distance estimate ever reads — is
+        unchanged; chunked and batch feeding stay exactly identical.
+        """
+        live = sorted(self._last_pos.items(), key=lambda item: item[1])
+        k = len(live)
+        self._tree = _Fenwick(max(2 * (k + 1), _MIN_TREE))
+        add = self._tree.add
+        for new_pos, (block, _) in enumerate(live, start=1):
+            self._last_pos[block] = new_pos
+            add(new_pos, 1)
+        self._pos = k
+
+    def result(self) -> SampleResult:
+        """Snapshot the estimated curve over everything fed so far."""
+        n = self._total_refs
+        by_size = dict(zip(self._sorted_sizes, self._miss_weight))
+        # Sample-domain ratios rescaled to full-trace counts (SHARDS_adj).
+        adj = n / self._ref_weight if self._ref_weight else 0.0
+        misses = tuple(
+            min(n, int(round((self._cold_weight + by_size[size]) * adj)))
+            for size in self.sizes
+        )
+        curve = MissRatioCurve(
+            line_size=self.line_size,
+            total_refs=n,
+            cold_misses=int(round(self._cold_weight * adj)),
+            sizes_lines=self.sizes,
+            misses=misses,
+            exact=False,
+        )
+        return SampleResult(
+            curve=curve,
+            sampled_refs=self._sampled_refs,
+            sampled_blocks=len(self._last_pos),
+            final_rate=self._threshold / _FULL,
+            seed=self.seed,
+        )
+
+
 def sampled_curve(
     addresses: "np.ndarray | Iterable[int]",
     line_size: int = 64,
@@ -98,109 +339,11 @@ def sampled_curve(
 ) -> SampleResult:
     """Approximate MRC via SHARDS; exactly one of ``rate``/``max_blocks``.
 
-    ``rate`` selects fixed-rate mode (0 < rate <= 1); ``max_blocks``
-    selects fixed-size mode with that bound on distinct sampled blocks.
+    One-shot wrapper over :class:`ShardsEstimator`: constructs the
+    estimator, feeds the whole stream, returns the result.
     """
-    if (rate is None) == (max_blocks is None):
-        raise ValueError("pass exactly one of rate= or max_blocks=")
-    if rate is not None and not 0.0 < rate <= 1.0:
-        raise ValueError(f"rate must be in (0, 1], got {rate}")
-    if max_blocks is not None and max_blocks < 1:
-        raise ValueError(f"max_blocks must be >= 1, got {max_blocks}")
-    if not _is_pow2(line_size):
-        raise ValueError(f"line size must be a power of two, got {line_size}")
-
-    addr_array = np.asarray(addresses, dtype=np.int64)
-    n = int(len(addr_array))
-    blocks: List[int] = (addr_array >> _log2(line_size)).tolist()
-    sizes = (
-        tuple(sizes_lines)
-        if sizes_lines is not None
-        else default_size_ladder(line_size)
+    estimator = ShardsEstimator(
+        line_size, sizes_lines, rate=rate, max_blocks=max_blocks, seed=seed
     )
-
-    threshold = int(rate * _FULL) if rate is not None else _FULL
-    if threshold < 1:
-        raise ValueError(f"rate {rate} is below the hash resolution")
-
-    tree = _Fenwick(n)
-    tree_add = tree.add
-    tree_prefix = tree.prefix
-    last_pos: Dict[int, int] = {}
-    block_hash: Dict[int, int] = {}
-    # Max-heap (negated) of (hash, block) for fixed-size evictions.
-    heap: List[Tuple[int, int]] = []
-    hash_cache: Dict[int, int] = {}
-
-    # Weighted per-size miss estimates, accumulated in the sample domain.
-    sorted_sizes = sorted(sizes)
-    miss_weight = [0.0] * len(sorted_sizes)
-    cold_weight = 0.0
-    ref_weight = 0.0
-    sampled_refs = 0
-    pos = 0  # position in the *sampled* substream (1-based for Fenwick)
-
-    for block in blocks:
-        h = hash_cache.get(block)
-        if h is None:
-            h = hash_block(block, seed)
-            hash_cache[block] = h
-        if h >= threshold:
-            continue
-        scale = _FULL / threshold
-        sampled_refs += 1
-        ref_weight += scale
-        pos += 1
-        prev = last_pos.get(block)
-        if prev is None:
-            cold_weight += scale
-            block_hash[block] = h
-            heapq.heappush(heap, (-h, block))
-        else:
-            # The referenced block itself is in the interval with
-            # probability 1, not R, so only the other (d_s - 1) distinct
-            # sampled blocks are rescaled: E[(d_s-1)/R + 1] = D exactly.
-            # The naive d_s/R overestimates every distance by ~(1/R - 1)
-            # lines, which is material at this repo's line-scale sizes.
-            sample_distance = tree_prefix(pos - 1) - tree_prefix(prev) + 1
-            estimated = (sample_distance - 1) * scale + 1.0
-            for i, size in enumerate(sorted_sizes):
-                if estimated <= size:
-                    break  # sizes ascend: every later size hits too
-                miss_weight[i] += scale
-            tree_add(prev, -1)
-        tree_add(pos, 1)
-        last_pos[block] = pos
-        if max_blocks is not None and len(last_pos) > max_blocks:
-            # Evict the largest-hash block and lower the threshold to its
-            # hash: the adaptive half of SHARDS (fixed sample size).
-            while True:
-                neg_h, victim = heapq.heappop(heap)
-                if block_hash.get(victim) == -neg_h:
-                    break
-            threshold = -neg_h
-            tree_add(last_pos.pop(victim), -1)
-            del block_hash[victim]
-
-    by_size = dict(zip(sorted_sizes, miss_weight))
-    # Sample-domain ratios rescaled to full-trace counts (SHARDS_adj).
-    adj = n / ref_weight if ref_weight else 0.0
-    misses = tuple(
-        min(n, int(round((cold_weight + by_size[size]) * adj)))
-        for size in sizes
-    )
-    curve = MissRatioCurve(
-        line_size=line_size,
-        total_refs=n,
-        cold_misses=int(round(cold_weight * adj)),
-        sizes_lines=sizes,
-        misses=misses,
-        exact=False,
-    )
-    return SampleResult(
-        curve=curve,
-        sampled_refs=sampled_refs,
-        sampled_blocks=len(last_pos),
-        final_rate=threshold / _FULL,
-        seed=seed,
-    )
+    estimator.feed(addresses)
+    return estimator.result()

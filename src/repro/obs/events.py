@@ -21,6 +21,10 @@ Event vocabulary (``schema`` 1):
 ``mrc_start``   one per MRC pass: pass id, bench, mode, refs, sizes
 ``mrc_point``   one probed size: line count, misses, miss ratio
 ``mrc_end``     closes an MRC pass: point count + wall time
+``session_open``   service session admitted: tenant, geometry, budget
+``batch``       one address batch fed through a session pipeline
+``answer``      one query answered (conflict share / mrc / verdict)
+``session_close``  session retired: totals + close reason
 ==============  =====================================================
 
 The ``counters`` deltas of a simulation sum exactly to the ``final``
@@ -41,7 +45,7 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import IO, Optional, Tuple
+from typing import IO, Dict, Optional, Tuple
 
 from repro import faults
 from repro.obs.config import ObsConfig
@@ -63,6 +67,10 @@ EVENT_TYPES = frozenset(
         "mrc_start",
         "mrc_point",
         "mrc_end",
+        "session_open",
+        "batch",
+        "answer",
+        "session_close",
     }
 )
 
@@ -88,7 +96,7 @@ class EventLog:
         """Append one event line; ``fields`` must be JSON-serialisable."""
         if etype not in EVENT_TYPES:
             raise ValueError(f"unknown event type {etype!r}")
-        record: dict = {
+        record: Dict[str, object] = {
             "schema": EVENT_SCHEMA,
             "type": etype,
             "ts": round(time.time(), 6),

@@ -21,10 +21,10 @@ import json
 import sys
 from collections import Counter, defaultdict
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, cast
 
 from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES
-from repro.obs.metrics import reconcile
+from repro.obs.metrics import Number, reconcile
 
 #: Fields each event type must carry (beyond schema/type/ts/pid).
 REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -39,6 +39,10 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "mrc_start": ("sim", "bench", "mode", "refs", "sizes"),
     "mrc_point": ("sim", "size_lines", "misses", "miss_ratio"),
     "mrc_end": ("sim", "points", "wall_s"),
+    "session_open": ("session", "tenant", "cache_kb", "max_blocks"),
+    "batch": ("session", "refs"),
+    "answer": ("session", "what"),
+    "session_close": ("session", "refs", "batches", "answers", "reason"),
 }
 
 
@@ -94,9 +98,11 @@ def split_torn_tail(text: str) -> Tuple[List[str], Optional[str]]:
     return lines, None
 
 
-def validate_lines(lines: Iterable[str]) -> Tuple[List[dict], List[str]]:
+def validate_lines(
+    lines: Iterable[str],
+) -> Tuple[List[Dict[str, object]], List[str]]:
     """Parse and schema-check event lines; returns (events, problems)."""
-    events: List[dict] = []
+    events: List[Dict[str, object]] = []
     problems: List[str] = []
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
@@ -135,35 +141,56 @@ def validate_lines(lines: Iterable[str]) -> Tuple[List[dict], List[str]]:
     return events, problems
 
 
-def reconcile_events(events: Iterable[dict]) -> Tuple[int, List[str]]:
+def reconcile_events(events: Iterable[Dict[str, object]]) -> Tuple[int, List[str]]:
     """Replay every simulation's deltas against its final snapshot.
 
-    Returns (simulations checked, problems).  A ``counters`` or
+    Returns (streams checked, problems).  A ``counters`` or
     ``sim_end`` event for a sim with no ``sim_start``, or a sim that
     never ends, is reported too — a truncated stream should not validate
-    silently.
+    silently.  Service sessions reconcile structurally the same way MRC
+    passes do: every ``session_open`` must be retired by a
+    ``session_close`` whose ``batches``/``answers`` totals equal the
+    ``batch``/``answer`` events actually in the stream — a service run
+    that died mid-session (or silently dropped an answer) is rejected,
+    never passed.
     """
-    started: Dict[str, dict] = {}
-    deltas: Dict[str, List[dict]] = defaultdict(list)
-    finals: Dict[str, dict] = {}
-    mrc_started: Dict[str, dict] = {}
+    started: Dict[str, Dict[str, object]] = {}
+    deltas: Dict[str, List[Mapping[str, Number]]] = defaultdict(list)
+    finals: Dict[str, Mapping[str, Number]] = {}
+    mrc_started: Dict[str, Dict[str, object]] = {}
     mrc_points: Dict[str, int] = defaultdict(int)
-    mrc_ends: Dict[str, dict] = {}
+    mrc_ends: Dict[str, Dict[str, object]] = {}
+    sess_opened: Dict[str, Dict[str, object]] = {}
+    sess_batches: Dict[str, int] = defaultdict(int)
+    sess_answers: Dict[str, int] = defaultdict(int)
+    sess_closed: Dict[str, Dict[str, object]] = {}
     problems: List[str] = []
     for event in events:
         etype = event.get("type")
         if etype == "sim_start":
-            started[event["sim"]] = event
+            started[str(event["sim"])] = event
         elif etype == "counters":
-            deltas[event["sim"]].append(event["delta"])
+            deltas[str(event["sim"])].append(
+                cast("Mapping[str, Number]", event["delta"])
+            )
         elif etype == "sim_end":
-            finals[event["sim"]] = event["final"]
+            finals[str(event["sim"])] = cast(
+                "Mapping[str, Number]", event["final"]
+            )
         elif etype == "mrc_start":
-            mrc_started[event["sim"]] = event
+            mrc_started[str(event["sim"])] = event
         elif etype == "mrc_point":
-            mrc_points[event["sim"]] += 1
+            mrc_points[str(event["sim"])] += 1
         elif etype == "mrc_end":
-            mrc_ends[event["sim"]] = event
+            mrc_ends[str(event["sim"])] = event
+        elif etype == "session_open":
+            sess_opened[str(event["session"])] = event
+        elif etype == "batch":
+            sess_batches[str(event["session"])] += 1
+        elif etype == "answer":
+            sess_answers[str(event["session"])] += 1
+        elif etype == "session_close":
+            sess_closed[str(event["session"])] = event
     for sim in sorted(set(deltas) | set(finals)):
         if sim not in started:
             problems.append(f"sim {sim}: counters/sim_end without sim_start")
@@ -185,7 +212,36 @@ def reconcile_events(events: Iterable[dict]) -> Tuple[int, List[str]]:
                 f"mrc {sim}: mrc_end claims {end['points']} point(s), "
                 f"stream has {mrc_points.get(sim, 0)}"
             )
-    return len(finals) + len(mrc_ends), problems
+    # Service sessions: every open retired, every close accounted, and
+    # the closing totals equal to the events actually present.
+    for sess in sorted(
+        (set(sess_batches) | set(sess_answers) | set(sess_closed))
+        - set(sess_opened)
+    ):
+        problems.append(
+            f"session {sess}: batch/answer/session_close without session_open"
+        )
+    for sess in sorted(set(sess_opened) - set(sess_closed)):
+        problems.append(
+            f"session {sess}: session_open without session_close "
+            f"(service died mid-session?)"
+        )
+    for sess, close in sorted(sess_closed.items()):
+        if sess not in sess_opened:
+            continue  # already reported above
+        if close["batches"] != sess_batches.get(sess, 0):
+            problems.append(
+                f"session {sess}: session_close claims "
+                f"{close['batches']} batch(es), stream has "
+                f"{sess_batches.get(sess, 0)}"
+            )
+        if close["answers"] != sess_answers.get(sess, 0):
+            problems.append(
+                f"session {sess}: session_close claims "
+                f"{close['answers']} answer(s), stream has "
+                f"{sess_answers.get(sess, 0)}"
+            )
+    return len(finals) + len(mrc_ends) + len(sess_closed), problems
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,69 @@
+"""``repro.serve`` — the streaming multi-tenant conflict-classification
+service.
+
+The paper's Miss Classification Table is an *online* hardware mechanism;
+this package turns the repo's batch simulator stack into the online
+system the MCT implies: a long-lived asyncio front end that accepts many
+concurrent address streams (one session per tenant connection), feeds
+each through a constant-memory incremental pipeline, and answers live
+queries about the stream seen so far.
+
+Per-tenant pipeline (:mod:`repro.serve.pipeline`):
+
+* a **streaming MCT classifier** — direct-mapped L1 tag store plus the
+  paper's per-set evicted-tag table, classifying every miss as conflict
+  or capacity on the fly (state: two fixed arrays, one per set);
+* a **fixed-size SHARDS MRC estimator**
+  (:class:`repro.mrc.ShardsEstimator`) fed incrementally, so the
+  fully-associative model behind Hill's conflict definition is priced
+  continuously at constant memory;
+* a **recommendation verdict** derived from the PR-5 decomposition
+  logic: the hardware conflict share and the model-side share (actual
+  miss rate vs the FA miss ratio at equal capacity) agree on whether a
+  victim cache / remap would help, or whether the stream is
+  capacity-bound (bypass candidate).
+
+Layers reused rather than forked:
+
+* **wire + telemetry** — :mod:`repro.obs` events (``session_open`` /
+  ``batch`` / ``answer`` / ``session_close``) are both the service's
+  telemetry and its consistency proof: ``python -m repro.obs.validate
+  --reconcile`` rejects any stream with an unretired session or a
+  close whose totals disagree with the events present;
+* **chaos** — :mod:`repro.faults` sites ``serve_accept`` and
+  ``serve_batch`` wrap the socket and session paths, so every fault
+  kind of the crash matrix covers the service;
+* **backpressure** — a max-session admission gate, a per-tenant byte
+  budget (mapped onto the SHARDS fixed-size bound), per-batch
+  acknowledgement frames (the client-side flow control), and an idle
+  reaper, so memory stays bounded under thousands of tenants.
+
+Entry points::
+
+    python -m repro.serve --socket /tmp/repro.sock --metrics events.jsonl
+    python -m repro.serve.loadgen --socket /tmp/repro.sock --sessions 1000
+"""
+
+from repro.serve.config import ServeConfig, max_blocks_for_budget
+from repro.serve.pipeline import PipelineSnapshot, TenantPipeline
+from repro.serve.protocol import (
+    FrameError,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.server import ConflictServer
+
+__all__ = [
+    "ConflictServer",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "PipelineSnapshot",
+    "ServeConfig",
+    "TenantPipeline",
+    "decode_frame",
+    "encode_frame",
+    "max_blocks_for_budget",
+    "read_frame",
+]

@@ -1,0 +1,103 @@
+"""Length-prefixed JSON frames — the service wire format.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  JSON rather than a binary
+codec keeps the wire format dependency-free and directly greppable in
+packet captures; the length prefix is what makes it a *protocol* —
+frames never split or coalesce on read, so a reader is either at a
+frame boundary or knows it is not.
+
+Client → server operations (the ``op`` field):
+
+==============  =====================================================
+``open``        start a session: ``tenant``, optional ``cache_kb``,
+                ``line_size``, ``budget_bytes``, ``seed``, ``tag_bits``
+``batch``       feed addresses: ``addrs`` (list of ints); the reply is
+                the acknowledgement the client must await before the
+                next batch — that ack *is* the flow control
+``query``       ask about the stream so far: ``what`` is one of
+                ``conflict_share`` | ``mrc`` | ``verdict``
+``close``       retire the session; the reply carries final totals
+``shutdown``    stop the whole server (first frame only, admin use)
+==============  =====================================================
+
+Every reply carries ``ok`` (bool); failed requests carry ``error``.
+The server never leaves a request unanswered: even a refused connection
+(admission control) gets an error frame before the socket closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, Optional
+
+#: Hard cap on one frame's payload.  A 64K-address batch of 64-bit
+#: addresses is ~1.3MB of JSON text; 4MB leaves headroom without letting
+#: one tenant stage unbounded bytes in server memory.
+MAX_FRAME_BYTES = 4 << 20
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """A malformed frame: bad length, bad JSON, or not an object."""
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """Serialise one message to its on-wire bytes (length + JSON)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload {len(payload)} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Dict[str, object]:
+    """Parse one frame payload; raises :class:`FrameError` on garbage."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError("frame payload is not a JSON object")
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame (mid-length or mid-payload) is a torn frame
+    and raises :class:`FrameError` — the stream analogue of the torn
+    final line the obs validator flags.
+    """
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)} header byte(s))"
+        ) from exc
+    (length,) = _LEN.unpack(header)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} outside (0, {MAX_FRAME_BYTES}]")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_frame(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: Dict[str, object]
+) -> None:
+    """Send one frame and drain — the await point backpressure rides on."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -1,0 +1,15 @@
+# repro-analysis-scope: src serve
+"""Failing fixture for asyncio discipline: RPR080, RPR081."""
+
+import time
+from pathlib import Path
+
+
+async def poll_for_work(path: Path) -> str:
+    time.sleep(0.1)  # RPR080: blocks every session on the loop
+    with open(path) as handle:  # RPR081: sync file I/O on the loop
+        return handle.read()
+
+
+async def persist_answer(path: Path, data: str) -> None:
+    path.write_text(data)  # RPR081: Path convenience I/O on the loop

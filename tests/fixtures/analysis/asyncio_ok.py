@@ -1,0 +1,26 @@
+# repro-analysis-scope: src serve
+"""Passing fixture: async code that never blocks the event loop."""
+
+import asyncio
+import time
+from pathlib import Path
+
+
+async def poll_for_work() -> float:
+    await asyncio.sleep(0.1)  # yields, never blocks
+    return time.monotonic()  # reading the clock is not sleeping
+
+
+def load_blocking(path: Path) -> str:
+    """Sync helper: file I/O is fine off the event loop."""
+    return path.read_text()
+
+
+async def persist_answer(path: Path, data: str) -> None:
+    # The executor-helper pattern: the blocking work lives in a nested
+    # sync def and runs off-loop.
+    def write_blocking() -> None:
+        path.write_text(data)
+
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, write_blocking)

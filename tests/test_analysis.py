@@ -49,6 +49,8 @@ FAMILIES = [
         "concurrency_ok.py",
         {"RPR020", "RPR021", "RPR022"},
     ),
+    # The service's event loop: blocking calls inside async defs.
+    ("asyncio_fail.py", "asyncio_ok.py", {"RPR080", "RPR081"}),
     ("obs_schema_fail.py", "obs_schema_ok.py", {"RPR030", "RPR031", "RPR032"}),
     ("hotpath_fail.py", "hotpath_ok.py", {"RPR040", "RPR041", "RPR042"}),
     ("durability_fail.py", "durability_ok.py", {"RPR050", "RPR051"}),

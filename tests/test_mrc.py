@@ -27,6 +27,7 @@ from repro.core.accuracy import measure_accuracy
 from repro.core.ground_truth import GroundTruthClassifier
 from repro.mrc import (
     COLD,
+    ShardsEstimator,
     SharedGroundTruth,
     StackDistanceOracle,
     brute_force_fa_misses,
@@ -263,6 +264,77 @@ class TestSampling:
             sampled_curve([0], LINE, rate=0.1, max_blocks=8)
         with pytest.raises(ValueError):
             sampled_curve([0], LINE)
+
+
+# ----------------------------------------------------------------------
+# Incremental SHARDS feeding (the online-service form)
+# ----------------------------------------------------------------------
+class TestIncrementalSampling:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        chunk=st.integers(min_value=1, max_value=4000),
+        seed=st.integers(min_value=0, max_value=7),
+        bench=st.sampled_from(["gcc", "tomcatv", "go"]),
+    )
+    def test_chunked_feed_identical_to_batch(self, chunk, seed, bench):
+        # The contract is exact, not statistical: a stream fed in chunks
+        # of any size must produce the same SampleResult as one batch
+        # call — compaction only renumbers live positions, never changes
+        # an interval count.
+        trace = build(bench, 12_000, seed=0)
+        addrs = np.asarray(trace.addresses, dtype=np.int64)
+        batch = sampled_curve(addrs, LINE, max_blocks=128, seed=seed)
+        estimator = ShardsEstimator(LINE, max_blocks=128, seed=seed)
+        for start in range(0, len(addrs), chunk):
+            estimator.feed(addrs[start : start + chunk])
+        assert estimator.result() == batch
+
+    def test_chunked_feed_identical_in_fixed_rate_mode(self):
+        trace = build("swim", 20_000, seed=1)
+        addrs = np.asarray(trace.addresses, dtype=np.int64)
+        batch = sampled_curve(addrs, LINE, rate=0.25, seed=2)
+        estimator = ShardsEstimator(LINE, rate=0.25, seed=2)
+        for start in range(0, len(addrs), 333):
+            estimator.feed(addrs[start : start + 333])
+        assert estimator.result() == batch
+
+    def test_result_is_a_snapshot_not_a_drain(self):
+        # Querying mid-stream must not disturb the pass.
+        trace = build("gcc", 10_000, seed=0)
+        addrs = np.asarray(trace.addresses, dtype=np.int64)
+        batch = sampled_curve(addrs, LINE, max_blocks=256, seed=0)
+        estimator = ShardsEstimator(LINE, max_blocks=256, seed=0)
+        for start in range(0, len(addrs), 1000):
+            estimator.feed(addrs[start : start + 1000])
+            estimator.result()
+        assert estimator.result() == batch
+
+    def test_fixed_size_state_stays_bounded_on_a_long_stream(self):
+        # The per-tenant constant-memory claim the service leans on: a
+        # stream whose footprint grows without bound must not grow the
+        # estimator.  One million refs over ~a million distinct blocks.
+        estimator = ShardsEstimator(LINE, max_blocks=256, seed=0)
+        peak = 0
+        for i in range(200):
+            addrs = np.arange(5000, dtype=np.int64) * (LINE * 7919) + (
+                i * 31337 * LINE
+            )
+            estimator.feed(addrs)
+            peak = max(peak, estimator.state_entries())
+        assert estimator.sampled_blocks <= 256
+        assert peak < 80 * 256, f"state grew to {peak} entries"
+
+    def test_estimator_rejects_bad_modes(self):
+        with pytest.raises(ValueError):
+            ShardsEstimator(LINE)
+        with pytest.raises(ValueError):
+            ShardsEstimator(LINE, rate=0.5, max_blocks=4)
+        with pytest.raises(ValueError):
+            ShardsEstimator(LINE, rate=1.5)
+        with pytest.raises(ValueError):
+            ShardsEstimator(LINE, max_blocks=0)
+        with pytest.raises(ValueError):
+            ShardsEstimator(63, max_blocks=4)
 
 
 # ----------------------------------------------------------------------

@@ -477,6 +477,83 @@ class TestValidatorCLI:
         assert "replayed" in capsys.readouterr().err
 
 
+class TestServiceSessionReconcile:
+    """Service streams (session_open/batch/answer/session_close)."""
+
+    def _session_events(self, sid="s1", batches=2, answers=1, closed=True):
+        events = [
+            {
+                "type": "session_open",
+                "session": sid,
+                "tenant": "t0",
+                "cache_kb": 16,
+                "max_blocks": 128,
+            }
+        ]
+        for _ in range(batches):
+            events.append({"type": "batch", "session": sid, "refs": 100})
+        for _ in range(answers):
+            events.append({"type": "answer", "session": sid, "what": "verdict"})
+        if closed:
+            events.append(
+                {
+                    "type": "session_close",
+                    "session": sid,
+                    "refs": 100 * batches,
+                    "batches": batches,
+                    "answers": answers,
+                    "reason": "client",
+                }
+            )
+        return events
+
+    def test_complete_session_reconciles(self):
+        assert reconcile_events(self._session_events()) == (1, [])
+
+    def test_open_without_close_rejected(self):
+        _, problems = reconcile_events(self._session_events(closed=False))
+        assert problems == [
+            "session s1: session_open without session_close "
+            "(service died mid-session?)"
+        ]
+
+    def test_orphan_events_rejected(self):
+        _, problems = reconcile_events(self._session_events()[1:])
+        assert any("without session_open" in p for p in problems)
+
+    def test_close_totals_must_match_stream(self):
+        events = self._session_events(batches=3, answers=2)
+        # Drop one batch and one answer: the close now over-claims.
+        events.remove({"type": "batch", "session": "s1", "refs": 100})
+        events.remove({"type": "answer", "session": "s1", "what": "verdict"})
+        _, problems = reconcile_events(events)
+        assert any("claims 3 batch(es), stream has 2" in p for p in problems)
+        assert any("claims 2 answer(s), stream has 1" in p for p in problems)
+
+    def test_truncated_service_stream_fails_cli(self, tmp_path, capsys):
+        # The acceptance case: a service killed mid-session leaves opens
+        # with no close, and `--reconcile` must reject the stream.
+        path = tmp_path / "events.jsonl"
+        lines = [
+            json.dumps({"schema": EVENT_SCHEMA, "ts": 0.0, "pid": 1, **event})
+            for event in self._session_events(closed=False)
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert validate_main([str(path), "--reconcile"]) == 1
+        assert "session_open without session_close" in capsys.readouterr().err
+
+    def test_truncated_stream_still_passes_without_reconcile(self, tmp_path):
+        # Schema validation alone accepts the events (they are all
+        # well-formed); only reconciliation sees the missing close.
+        path = tmp_path / "events.jsonl"
+        lines = [
+            json.dumps({"schema": EVENT_SCHEMA, "ts": 0.0, "pid": 1, **event})
+            for event in self._session_events(closed=False)
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert validate_main([str(path)]) == 0
+
+
 # ----------------------------------------------------------------------
 # Runner CLI flags
 # ----------------------------------------------------------------------
